@@ -1,0 +1,101 @@
+// Ablations for the design choices DESIGN.md calls out (beyond the paper's
+// tables):
+//   1. symbolic TTMc reuse — preprocessing cost vs per-iteration cost, and
+//      its amortization across HOOI runs with different ranks (the paper's
+//      Sec. V argument for reusing the symbolic structure);
+//   2. dynamic vs static OpenMP scheduling of the TTMc row loop on a skewed
+//      tensor (the paper chooses dynamic);
+//   3. Lanczos vs Gram-matrix TRSVD (the matrix-free choice).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/hooi.hpp"
+#include "core/symbolic.hpp"
+#include "core/trsvd.hpp"
+#include "core/ttmc.hpp"
+#include "la/lanczos.hpp"
+
+int main() {
+  using namespace ht;
+
+  const auto bt = htb::load_preset("netflix");
+  const auto& x = bt.tensor;
+  const auto& ranks = bt.spec.ranks;
+
+  // ---- 1. symbolic reuse --------------------------------------------------
+  std::printf("=== Ablation 1: symbolic TTMc reuse ===\n");
+  WallTimer t_sym;
+  const core::SymbolicTtmc symbolic = core::SymbolicTtmc::build(x);
+  const double sym_s = t_sym.seconds();
+
+  core::HooiOptions options;
+  options.ranks = ranks;
+  options.max_iterations = htb::bench_iters();
+  options.fit_tolerance = 0.0;
+  WallTimer t_iters;
+  const auto run = core::hooi(x, options, symbolic);
+  const double per_iter = t_iters.seconds() / run.iterations;
+  std::printf("symbolic build: %.3fs; numeric iteration: %.3fs "
+              "(symbolic pays for itself after %.1f iterations)\n",
+              sym_s, per_iter, sym_s / per_iter);
+
+  // Reuse across rank choices (paper: "computed once and used for all
+  // these executions").
+  WallTimer t_reuse;
+  for (tensor::index_t r : {4, 6, 8}) {
+    core::HooiOptions o = options;
+    o.ranks.assign(x.order(), r);
+    o.max_iterations = 2;
+    (void)core::hooi(x, o, symbolic);
+  }
+  const double reuse_s = t_reuse.seconds();
+  WallTimer t_rebuild;
+  for (tensor::index_t r : {4, 6, 8}) {
+    core::HooiOptions o = options;
+    o.ranks.assign(x.order(), r);
+    o.max_iterations = 2;
+    (void)core::hooi(x, o);  // rebuilds symbolic internally
+  }
+  const double rebuild_s = t_rebuild.seconds();
+  std::printf("3 rank sweeps: reuse %.2fs vs rebuild %.2fs (%.2fx)\n\n",
+              reuse_s, rebuild_s, rebuild_s / reuse_s);
+
+  // ---- 2. dynamic vs static scheduling -----------------------------------
+  std::printf("=== Ablation 2: TTMc row-loop scheduling (skewed tensor) ===\n");
+  std::vector<la::Matrix> factors;
+  {
+    core::HooiOptions o = options;
+    o.max_iterations = 1;
+    factors = core::hooi(x, o, symbolic).decomposition.factors;
+  }
+  for (const auto schedule :
+       {core::Schedule::kDynamic, core::Schedule::kStatic}) {
+    la::Matrix y;
+    WallTimer t;
+    const int reps = 5;
+    for (int rep = 0; rep < reps; ++rep) {
+      for (std::size_t n = 0; n < x.order(); ++n) {
+        core::ttmc_mode(x, factors, n, symbolic.modes[n], y, {schedule});
+      }
+    }
+    std::printf("%s: %.3fs for %d full TTMc sweeps\n",
+                schedule == core::Schedule::kDynamic ? "dynamic" : "static ",
+                t.seconds(), reps);
+  }
+  std::printf("\n");
+
+  // ---- 3. Lanczos vs Gram TRSVD -------------------------------------------
+  std::printf("=== Ablation 3: TRSVD method on Y(1) ===\n");
+  la::Matrix y;
+  core::ttmc_mode(x, factors, 0, symbolic.modes[0], y, {});
+  for (const auto method :
+       {core::TrsvdMethod::kLanczos, core::TrsvdMethod::kGram}) {
+    WallTimer t;
+    const auto res = core::trsvd_factor(y, symbolic.modes[0].rows, x.dim(0),
+                                        ranks[0], method);
+    std::printf("%s: %.3fs (sigma_1 = %.4f, steps = %zu)\n",
+                method == core::TrsvdMethod::kLanczos ? "lanczos" : "gram   ",
+                t.seconds(), res.sigma[0], res.solver_steps);
+  }
+  return 0;
+}

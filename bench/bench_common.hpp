@@ -1,0 +1,88 @@
+// Shared helpers for the table-regeneration benches.
+//
+// All benches run at a laptop default (HT_SCALE=0.5, ~200K nonzeros per
+// dataset) and grow toward paper-sized inputs via environment variables:
+//   HT_SCALE    dataset scale multiplier (1.0 ~ 0.4M nnz per tensor)
+//   HT_ITERS    HOOI iterations measured (paper: 5)
+//   HT_RANKS    comma-separated simulated rank counts (table II sweep)
+//   HT_TENSORS  comma-separated preset subset (default: all four)
+//   HT_NPROCS   rank count for single-configuration benches (default 8)
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tensor/generators.hpp"
+#include "util/env.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace htb {
+
+inline double bench_scale(double fallback = 0.5) {
+  return ht::env_double("HT_SCALE", fallback);
+}
+
+inline int bench_iters() {
+  return static_cast<int>(ht::env_int("HT_ITERS", 5));
+}
+
+inline int bench_nprocs() {
+  return static_cast<int>(ht::env_int("HT_NPROCS", 8));
+}
+
+inline std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= csv.size()) {
+    const std::size_t comma = csv.find(',', begin);
+    const std::string item = csv.substr(
+        begin, comma == std::string::npos ? std::string::npos : comma - begin);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return out;
+}
+
+inline std::vector<std::string> bench_tensors() {
+  const std::string csv =
+      ht::env_string("HT_TENSORS", "netflix,nell,delicious,flickr");
+  return split_csv(csv);
+}
+
+inline std::vector<int> bench_rank_counts() {
+  const std::string csv = ht::env_string("HT_RANKS", "1,2,4,8,16");
+  std::vector<int> out;
+  for (const auto& s : split_csv(csv)) out.push_back(std::stoi(s));
+  return out;
+}
+
+/// Default the simulated network to BlueGene/Q-like parameters (3 us
+/// latency, 2 GB/s per link) unless the caller already configured it. Only
+/// the distributed benches call this; tests and examples run with a free
+/// network.
+inline void enable_network_model_default() {
+  ::setenv("HT_NET_LATENCY_US", "3", /*overwrite=*/0);
+  ::setenv("HT_NET_GBPS", "2", /*overwrite=*/0);
+}
+
+struct BenchTensor {
+  ht::tensor::PresetSpec spec;
+  ht::tensor::CooTensor tensor;
+};
+
+inline BenchTensor load_preset(const std::string& name,
+                               double scale_fallback = 0.25) {
+  BenchTensor bt;
+  bt.spec = ht::tensor::paper_preset(name, bench_scale(scale_fallback));
+  ht::WallTimer t;
+  bt.tensor = ht::tensor::generate_preset(bt.spec, /*seed=*/42);
+  std::fprintf(stderr, "[bench] generated %s: %s (%.2fs)\n", name.c_str(),
+               bt.tensor.summary().c_str(), t.seconds());
+  return bt;
+}
+
+}  // namespace htb

@@ -1,0 +1,76 @@
+// Regenerates paper Table IV: relative time of the TTMc, TRSVD(+comm), and
+// core(+comm) steps within a HOOI iteration under the fine-hp partition,
+// plus the symbolic-TTMc share of total execution reported in the Section V
+// text (5-19% at 256 ranks for 5 iterations).
+//
+// Expected shape: TTMc dominates for most tensors; TRSVD's share grows with
+// huge-mode tensors and dominates Netflix-like shapes at scale; the core
+// step is negligible.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/symbolic.hpp"
+#include "dist/dist_hooi.hpp"
+
+int main() {
+  using namespace ht;
+
+  htb::enable_network_model_default();
+  const int p = htb::bench_nprocs();
+  const int iters = htb::bench_iters();
+  std::printf(
+      "=== Table IV: relative step timings (%%), fine-hp, %d ranks, %d "
+      "iterations ===\n",
+      p, iters);
+
+  TextTable table({"step", "netflix", "nell", "delicious", "flickr"});
+  std::vector<std::string> row_ttmc = {"TTMc"};
+  std::vector<std::string> row_trsvd = {"TRSVD+comm"};
+  std::vector<std::string> row_core = {"core+comm"};
+  std::vector<std::string> row_symbolic = {"symbolic (of total)"};
+
+  for (const auto& name : {"netflix", "nell", "delicious", "flickr"}) {
+    const auto bt = htb::load_preset(name);
+
+    dist::DistHooiOptions options;
+    options.ranks = bt.spec.ranks;
+    options.grain = dist::Grain::kFine;
+    options.method = dist::Method::kHypergraph;
+    options.num_ranks = p;
+    options.max_iterations = iters;
+
+    dist::PlanOptions popt;
+    popt.grain = options.grain;
+    popt.method = options.method;
+    popt.num_ranks = p;
+    const auto gplan = dist::build_global_plan(bt.tensor, popt);
+    const auto rplans =
+        dist::build_rank_plans(bt.tensor, gplan, options.ranks, options.seed);
+
+    // Symbolic cost: the slowest rank's symbolic pass over its local tensor
+    // (performed once, before the iterations).
+    double symbolic_max = 0.0;
+    for (const auto& rp : rplans) {
+      WallTimer t;
+      const auto sym = core::SymbolicTtmc::build(rp.local);
+      symbolic_max = std::max(symbolic_max, t.seconds());
+    }
+
+    const auto result = dist::dist_hooi(bt.tensor, options, gplan, rplans);
+    const double iter_total = result.timers.iteration_total();
+    row_ttmc.push_back(fmt_fixed(100.0 * result.timers.ttmc / iter_total, 1));
+    row_trsvd.push_back(
+        fmt_fixed(100.0 * result.timers.trsvd / iter_total, 1));
+    row_core.push_back(fmt_fixed(100.0 * result.timers.core / iter_total, 1));
+    row_symbolic.push_back(fmt_fixed(
+        100.0 * symbolic_max / (symbolic_max + iter_total), 1));
+  }
+
+  table.add_row(row_ttmc);
+  table.add_row(row_trsvd);
+  table.add_row(row_core);
+  table.add_separator();
+  table.add_row(row_symbolic);
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}

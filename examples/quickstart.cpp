@@ -1,0 +1,60 @@
+// Quickstart: build a sparse tensor, compute a Tucker decomposition with
+// HOOI, inspect the result, and round-trip the tensor through the .tns
+// format. Start here.
+//
+//   ./quickstart
+#include <cstdio>
+#include <sstream>
+
+#include "core/hooi.hpp"
+#include "tensor/generators.hpp"
+#include "tensor/io.hpp"
+
+int main() {
+  using namespace ht;
+
+  // 1. A synthetic 3-mode sparse tensor with planted low-rank structure.
+  //    (Load your own data with tensor::read_tns_file("data.tns").)
+  tensor::CooTensor x = tensor::random_zipf(
+      /*shape=*/{400, 300, 200}, /*target_nnz=*/100000,
+      /*theta (per-mode skew)=*/{1.0, 0.8, 0.4}, /*seed=*/42);
+  tensor::plant_low_rank_values(x, /*cp_rank=*/8, /*noise=*/0.05, /*seed=*/7);
+  std::printf("tensor: %s\n", x.summary().c_str());
+
+  // 2. Tucker decomposition via HOOI (paper Algorithm 3).
+  core::HooiOptions options;
+  options.ranks = {10, 10, 10};     // core size R1 x R2 x R3
+  options.max_iterations = 10;
+  options.fit_tolerance = 1e-5;     // stop when the fit stalls
+  const core::HooiResult result = core::hooi(x, options);
+
+  std::printf("HOOI: %d iterations, converged=%s\n", result.iterations,
+              result.converged ? "yes" : "no");
+  for (std::size_t i = 0; i < result.fits.size(); ++i) {
+    std::printf("  sweep %zu fit = %.6f\n", i + 1, result.fits[i]);
+  }
+  std::printf("timers: symbolic %.3fs  ttmc %.3fs  trsvd %.3fs  core %.3fs\n",
+              result.timers.symbolic, result.timers.ttmc, result.timers.trsvd,
+              result.timers.core);
+
+  // 3. Use the model: factors are orthonormal I_n x R_n matrices; the core
+  //    couples them. Reconstruct a few tensor entries.
+  const core::TuckerDecomposition& model = result.decomposition;
+  std::printf("core tensor: %zux%zux%zu, |G| = %.4f\n",
+              std::size_t{model.core.shape()[0]},
+              std::size_t{model.core.shape()[1]},
+              std::size_t{model.core.shape()[2]},
+              model.core.frobenius_norm());
+  for (tensor::nnz_t e = 0; e < 3; ++e) {
+    const std::vector<tensor::index_t> idx = {x.index(0, e), x.index(1, e),
+                                              x.index(2, e)};
+    std::printf("  x[%u,%u,%u] = %.4f, model says %.4f\n", idx[0], idx[1],
+                idx[2], x.value(e), model.reconstruct_at(idx));
+  }
+
+  // 4. Tensors serialize to the FROSTT-style .tns text format.
+  std::ostringstream buffer;
+  tensor::write_tns(buffer, x);
+  std::printf(".tns export: %zu bytes\n", buffer.str().size());
+  return 0;
+}

@@ -1,0 +1,161 @@
+// Command-line Tucker decomposition driver: read a FROSTT-style .tns file,
+// run HOOI, print fit diagnostics, optionally export the factor matrices.
+//
+//   ./tucker_cli INPUT.tns R1,R2,...  [--iters N] [--tol T] [--threads P]
+//                [--init random|range] [--export PREFIX] [--sweep]
+//
+// With --sweep, the ranks argument is treated as the *maximum* per mode and
+// HOOI is run for a ladder of candidate ranks (reusing one symbolic TTMc),
+// reporting the fit of each — the rank-selection workflow from the paper.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/hooi.hpp"
+#include "core/rank_sweep.hpp"
+#include "tensor/io.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+std::vector<ht::tensor::index_t> parse_ranks(const std::string& csv) {
+  std::vector<ht::tensor::index_t> ranks;
+  std::size_t begin = 0;
+  while (begin < csv.size()) {
+    const std::size_t comma = csv.find(',', begin);
+    const std::string item = csv.substr(begin, comma == std::string::npos
+                                                   ? std::string::npos
+                                                   : comma - begin);
+    ranks.push_back(static_cast<ht::tensor::index_t>(std::stoul(item)));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return ranks;
+}
+
+void export_factors(const ht::core::TuckerDecomposition& t,
+                    const std::string& prefix) {
+  for (std::size_t n = 0; n < t.order(); ++n) {
+    const std::string path = prefix + ".U" + std::to_string(n + 1) + ".txt";
+    std::ofstream out(path);
+    const auto& f = t.factors[n];
+    for (std::size_t i = 0; i < f.rows(); ++i) {
+      for (std::size_t j = 0; j < f.cols(); ++j) {
+        out << f(i, j) << (j + 1 == f.cols() ? '\n' : ' ');
+      }
+    }
+    std::printf("wrote %s (%zux%zu)\n", path.c_str(), f.rows(), f.cols());
+  }
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: tucker_cli INPUT.tns R1,R2,... [--iters N] [--tol T]"
+               " [--threads P] [--init random|range] [--export PREFIX]"
+               " [--sweep]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+
+  const std::string input = argv[1];
+  const auto max_ranks = parse_ranks(argv[2]);
+
+  ht::core::HooiOptions options;
+  options.max_iterations = 20;
+  options.fit_tolerance = 1e-5;
+  std::string export_prefix;
+  bool sweep = false;
+
+  for (int a = 3; a < argc; ++a) {
+    const std::string arg = argv[a];
+    auto next = [&]() -> const char* {
+      if (a + 1 >= argc) { usage(); std::exit(2); }
+      return argv[++a];
+    };
+    if (arg == "--iters") {
+      options.max_iterations = std::atoi(next());
+    } else if (arg == "--tol") {
+      options.fit_tolerance = std::atof(next());
+    } else if (arg == "--threads") {
+      options.num_threads = std::atoi(next());
+    } else if (arg == "--init") {
+      const std::string v = next();
+      options.init = v == "range" ? ht::core::HooiInit::kRandomizedRange
+                                  : ht::core::HooiInit::kRandom;
+    } else if (arg == "--export") {
+      export_prefix = next();
+    } else if (arg == "--sweep") {
+      sweep = true;
+    } else {
+      return usage();
+    }
+  }
+
+  ht::tensor::CooTensor x;
+  try {
+    x = ht::tensor::read_tns_file(input);
+    x.sum_duplicates();
+  } catch (const ht::Error& e) {
+    std::fprintf(stderr, "error reading %s: %s\n", input.c_str(), e.what());
+    return 1;
+  }
+  std::printf("loaded %s: %s\n", input.c_str(), x.summary().c_str());
+  if (max_ranks.size() != x.order()) {
+    std::fprintf(stderr, "need %zu ranks for a %zu-mode tensor\n", x.order(),
+                 x.order());
+    return 1;
+  }
+
+  try {
+    if (sweep) {
+      // Ladder of candidates up to the requested maximum, shared symbolic.
+      std::vector<std::vector<ht::tensor::index_t>> candidates;
+      for (double frac : {0.25, 0.5, 0.75, 1.0}) {
+        std::vector<ht::tensor::index_t> r;
+        for (auto m : max_ranks) {
+          r.push_back(std::max<ht::tensor::index_t>(
+              1, static_cast<ht::tensor::index_t>(m * frac)));
+        }
+        if (candidates.empty() || r != candidates.back()) {
+          candidates.push_back(std::move(r));
+        }
+      }
+      const auto sweep_result = ht::core::rank_sweep(x, candidates, options);
+      ht::TextTable table({"ranks", "fit", "iters", "seconds"});
+      for (const auto& e : sweep_result.entries) {
+        std::string rs;
+        for (std::size_t n = 0; n < e.ranks.size(); ++n) {
+          if (n) rs += ",";
+          rs += std::to_string(e.ranks[n]);
+        }
+        table.add_row({rs, ht::fmt_fixed(e.fit, 5), std::to_string(e.iterations),
+                       ht::fmt_time_s(e.seconds)});
+      }
+      std::printf("%s(symbolic built once: %.3fs)\n",
+                  table.to_string().c_str(), sweep_result.symbolic_seconds);
+      return 0;
+    }
+
+    options.ranks = max_ranks;
+    const auto result = ht::core::hooi(x, options);
+    std::printf("fit %.6f after %d sweeps (converged=%s)\n",
+                result.final_fit(), result.iterations,
+                result.converged ? "yes" : "no");
+    std::printf("timers: symbolic %.3fs ttmc %.3fs trsvd %.3fs core %.3fs\n",
+                result.timers.symbolic, result.timers.ttmc,
+                result.timers.trsvd, result.timers.core);
+    if (!export_prefix.empty()) {
+      export_factors(result.decomposition, export_prefix);
+    }
+  } catch (const ht::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

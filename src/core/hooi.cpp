@@ -1,0 +1,105 @@
+#include "core/hooi.hpp"
+
+#include <cmath>
+
+#include "core/hosvd.hpp"
+#include "la/blas.hpp"
+#include "parallel/thread_info.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace ht::core {
+
+void validate_hooi_options(const CooTensor& x, const HooiOptions& options) {
+  if (x.nnz() == 0) throw InvalidArgument("HOOI needs a nonempty tensor");
+  if (options.ranks.size() != x.order()) {
+    throw InvalidArgument("need one rank per tensor mode");
+  }
+  for (std::size_t n = 0; n < x.order(); ++n) {
+    if (options.ranks[n] < 1 || options.ranks[n] > x.dim(n)) {
+      throw InvalidArgument("rank out of range for mode " + std::to_string(n));
+    }
+  }
+  if (options.max_iterations < 1) {
+    throw InvalidArgument("max_iterations must be >= 1");
+  }
+}
+
+HooiResult hooi(const CooTensor& x, const HooiOptions& options) {
+  validate_hooi_options(x, options);
+  parallel::ThreadScope threads(options.num_threads);
+
+  HooiResult result;
+  WallTimer timer;
+  const SymbolicTtmc symbolic = SymbolicTtmc::build(x);
+  result.timers.symbolic = timer.seconds();
+
+  HooiResult rest = hooi(x, options, symbolic);
+  rest.timers.symbolic = result.timers.symbolic;
+  return rest;
+}
+
+HooiResult hooi(const CooTensor& x, const HooiOptions& options,
+                const SymbolicTtmc& symbolic) {
+  validate_hooi_options(x, options);
+  HT_CHECK_MSG(symbolic.modes.size() == x.order(),
+               "symbolic structure does not match tensor");
+  parallel::ThreadScope threads(options.num_threads);
+
+  const std::size_t order = x.order();
+  HooiResult result;
+
+  std::vector<la::Matrix> factors =
+      options.init == HooiInit::kRandom
+          ? random_orthonormal_factors(x.shape(), options.ranks, options.seed)
+          : randomized_range_factors(x, options.ranks, options.seed);
+
+  const double x_norm2 = x.norm2_squared();
+  const TtmcOptions ttmc_options{options.ttmc_schedule};
+
+  la::Matrix y;  // compact Y(n), reused across modes/iterations
+  la::Matrix last_compact_u;
+  double previous_fit = -1.0;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    for (std::size_t n = 0; n < order; ++n) {
+      WallTimer t_ttmc;
+      ttmc_mode(x, factors, n, symbolic.modes[n], y, ttmc_options);
+      result.timers.ttmc += t_ttmc.seconds();
+
+      WallTimer t_trsvd;
+      FactorTrsvd svd =
+          trsvd_factor(y, symbolic.modes[n].rows, x.dim(n), options.ranks[n],
+                       options.trsvd_method, options.trsvd);
+      result.timers.trsvd += t_trsvd.seconds();
+
+      factors[n] = std::move(svd.factor);
+      if (n + 1 == order) last_compact_u = std::move(svd.compact_u);
+    }
+
+    // Core tensor: G(N) = U_N^T Y(N); Y still holds the mode-(N-1) TTMc.
+    WallTimer t_core;
+    const la::Matrix g_mat = la::gemm_tn(last_compact_u, y);
+    tensor::Shape core_shape(options.ranks.begin(), options.ranks.end());
+    result.decomposition.core =
+        tensor::DenseTensor::dematricize(g_mat, core_shape, order - 1);
+    result.timers.core += t_core.seconds();
+
+    const double core_norm = result.decomposition.core.frobenius_norm();
+    const double fit = fit_from_core_norm(x_norm2, core_norm * core_norm);
+    result.fits.push_back(fit);
+    result.iterations = iter + 1;
+
+    if (previous_fit >= 0.0 &&
+        std::abs(fit - previous_fit) < options.fit_tolerance) {
+      result.converged = true;
+      break;
+    }
+    previous_fit = fit;
+  }
+
+  result.decomposition.factors = std::move(factors);
+  return result;
+}
+
+}  // namespace ht::core

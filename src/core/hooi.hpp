@@ -1,0 +1,74 @@
+// Shared-memory parallel HOOI (paper Algorithm 3).
+//
+// Symbolic TTMc runs once; each ALS sweep then performs, per mode,
+//   (i)  numeric TTMc into the compact Y(n)            [lock-free parfor]
+//   (ii) TRSVD of Y(n) -> U_n                          [matrix-free Lanczos]
+// and forms the core G = Y x_N U_N^T after the last mode (one GEMM, since
+// Y(N) already holds X x_{-N} U). Convergence is monitored through the fit
+// 1 - ||X - Xhat||/||X||, evaluated exactly from ||G|| (paper's check).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/symbolic.hpp"
+#include "core/trsvd.hpp"
+#include "core/ttmc.hpp"
+#include "core/tucker.hpp"
+#include "tensor/coo_tensor.hpp"
+
+namespace ht::core {
+
+enum class HooiInit { kRandom, kRandomizedRange };
+
+struct HooiOptions {
+  /// Decomposition ranks, one per mode (required).
+  std::vector<index_t> ranks;
+  int max_iterations = 5;  // the paper's benchmark setting
+  /// Stop when the fit improves by less than this between sweeps.
+  double fit_tolerance = 1e-6;
+  HooiInit init = HooiInit::kRandom;
+  TrsvdMethod trsvd_method = TrsvdMethod::kLanczos;
+  Schedule ttmc_schedule = Schedule::kDynamic;
+  /// OpenMP threads (0 = runtime default). Paper Table V sweeps this.
+  int num_threads = 0;
+  std::uint64_t seed = 42;
+  /// Inner-solver controls; ALS does not need tight residuals here (the
+  /// factors move every sweep anyway).
+  la::TrsvdOptions trsvd = {.tol = 1e-7};
+};
+
+struct HooiTimers {
+  double symbolic = 0;
+  double ttmc = 0;
+  double trsvd = 0;
+  double core = 0;
+
+  [[nodiscard]] double iteration_total() const { return ttmc + trsvd + core; }
+};
+
+struct HooiResult {
+  TuckerDecomposition decomposition;
+  /// Fit after each completed sweep.
+  std::vector<double> fits;
+  int iterations = 0;
+  bool converged = false;
+  HooiTimers timers;
+
+  [[nodiscard]] double final_fit() const {
+    return fits.empty() ? 0.0 : fits.back();
+  }
+};
+
+/// Run HOOI; builds the symbolic structure internally.
+HooiResult hooi(const CooTensor& x, const HooiOptions& options);
+
+/// Run HOOI reusing a prebuilt symbolic structure (the paper reuses it
+/// across runs with different ranks).
+HooiResult hooi(const CooTensor& x, const HooiOptions& options,
+                const SymbolicTtmc& symbolic);
+
+/// Validate options against the tensor; throws ht::InvalidArgument.
+void validate_hooi_options(const CooTensor& x, const HooiOptions& options);
+
+}  // namespace ht::core

@@ -1,0 +1,78 @@
+#include "core/hosvd.hpp"
+
+#include "la/qr.hpp"
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace ht::core {
+
+std::vector<la::Matrix> random_orthonormal_factors(
+    const tensor::Shape& shape, std::span<const index_t> ranks,
+    std::uint64_t seed) {
+  HT_CHECK_MSG(ranks.size() == shape.size(), "rank arity mismatch");
+  std::vector<la::Matrix> factors;
+  factors.reserve(shape.size());
+  for (std::size_t n = 0; n < shape.size(); ++n) {
+    HT_CHECK_MSG(ranks[n] >= 1 && ranks[n] <= shape[n],
+                 "rank " << ranks[n] << " invalid for mode size " << shape[n]);
+    Rng rng(seed + 0x9e37 * (n + 1));
+    la::Matrix f(shape[n], ranks[n]);
+    for (auto& v : f.flat()) v = rng.normal();
+    la::orthonormalize_columns(f);
+    factors.push_back(std::move(f));
+  }
+  return factors;
+}
+
+namespace {
+
+// Deterministic Rademacher sketch entry for (column key, sketch column j).
+inline double sketch_entry(std::uint64_t key, std::size_t j) {
+  SplitMix64 sm(key ^ (0x517cc1b727220a95ULL * (j + 1)));
+  return (sm.next() & 1) ? 1.0 : -1.0;
+}
+
+}  // namespace
+
+std::vector<la::Matrix> randomized_range_factors(const CooTensor& x,
+                                                 std::span<const index_t> ranks,
+                                                 std::uint64_t seed,
+                                                 std::size_t oversample) {
+  HT_CHECK_MSG(ranks.size() == x.order(), "rank arity mismatch");
+  std::vector<la::Matrix> factors(x.order());
+
+  for (std::size_t n = 0; n < x.order(); ++n) {
+    const index_t dim = x.dim(n);
+    HT_CHECK_MSG(ranks[n] >= 1 && ranks[n] <= dim,
+                 "rank " << ranks[n] << " invalid for mode size " << dim);
+    const std::size_t sketch =
+        std::min<std::size_t>(ranks[n] + oversample, dim);
+
+    // B = X(n) * Omega accumulated nonzero by nonzero; the column key packs
+    // the other-mode indices (the actual linearized value does not matter,
+    // only that equal columns hash equally).
+    la::Matrix b(dim, sketch);
+    for (tensor::nnz_t e = 0; e < x.nnz(); ++e) {
+      std::uint64_t key = seed ^ (0xabcdef12345ULL + n);
+      for (std::size_t t = 0; t < x.order(); ++t) {
+        if (t == n) continue;
+        key = key * 0x100000001b3ULL + x.index(t, e) + 1;
+      }
+      const double v = x.value(e);
+      auto row = b.row(x.index(n, e));
+      for (std::size_t j = 0; j < sketch; ++j) {
+        row[j] += v * sketch_entry(key, j);
+      }
+    }
+
+    la::orthonormalize_columns(b);
+    la::Matrix f(dim, ranks[n]);
+    for (index_t i = 0; i < dim; ++i) {
+      for (std::size_t j = 0; j < ranks[n]; ++j) f(i, j) = b(i, j);
+    }
+    factors[n] = std::move(f);
+  }
+  return factors;
+}
+
+}  // namespace ht::core

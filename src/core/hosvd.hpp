@@ -1,0 +1,37 @@
+// Factor matrix initialization for HOOI.
+//
+// The paper initializes "randomly or using the higher-order SVD". A true
+// sparse HOSVD would need singular vectors of X(n) whose column dimension is
+// prod of the other mode sizes — astronomically large for the paper's
+// tensors — so alongside plain random-orthonormal init we provide a
+// randomized range-finder init: Y_n = X(n) * Omega with an *implicit*
+// Rademacher sketch Omega whose rows are generated on the fly from a hash of
+// the (linearized) column index, so nothing of size prod(I_t) is ever
+// materialized. orth(Y_n) approximates the leading left subspace of X(n).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "tensor/coo_tensor.hpp"
+
+namespace ht::core {
+
+using tensor::CooTensor;
+using tensor::index_t;
+
+/// Independent random orthonormal factors, I_n x R_n each.
+std::vector<la::Matrix> random_orthonormal_factors(
+    const tensor::Shape& shape, std::span<const index_t> ranks,
+    std::uint64_t seed);
+
+/// Randomized range-finder approximation of the HOSVD factors.
+/// `oversample` extra sketch columns improve the subspace before truncation.
+std::vector<la::Matrix> randomized_range_factors(const CooTensor& x,
+                                                 std::span<const index_t> ranks,
+                                                 std::uint64_t seed,
+                                                 std::size_t oversample = 4);
+
+}  // namespace ht::core

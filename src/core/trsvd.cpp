@@ -1,0 +1,64 @@
+#include "core/trsvd.hpp"
+
+#include <algorithm>
+
+#include "la/linear_operator.hpp"
+#include "la/qr.hpp"
+#include "util/error.hpp"
+
+namespace ht::core {
+
+FactorTrsvd trsvd_factor(const la::Matrix& y, std::span<const index_t> rows,
+                         index_t dim, std::size_t rank, TrsvdMethod method,
+                         const la::TrsvdOptions& options) {
+  HT_CHECK_MSG(rank >= 1, "rank must be positive");
+  HT_CHECK_MSG(rank <= dim, "rank " << rank << " exceeds mode size " << dim);
+  HT_CHECK_MSG(y.rows() == rows.size(), "compact row map arity mismatch");
+  for (index_t r : rows) {
+    HT_CHECK_MSG(r < dim, "compact row index out of range");
+  }
+
+  FactorTrsvd out;
+
+  // The compact problem can only deliver min(y.rows, y.cols) directions;
+  // remaining columns are completed over the empty rows afterwards.
+  const std::size_t solvable =
+      std::min({rank, y.rows(), y.cols()});
+
+  la::TrsvdResult solved;
+  if (solvable >= 1) {
+    if (method == TrsvdMethod::kLanczos) {
+      la::DenseOperator op(y);
+      solved = la::lanczos_trsvd(op, solvable, options);
+    } else {
+      solved = la::gram_trsvd(y, solvable);
+    }
+    out.solver_steps = solved.steps;
+  }
+
+  out.sigma.assign(rank, 0.0);
+  std::copy(solved.sigma.begin(), solved.sigma.end(), out.sigma.begin());
+
+  out.factor.resize_zero(dim, rank);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t j = 0; j < solvable; ++j) {
+      out.factor(rows[r], j) = solved.u(r, j);
+    }
+  }
+
+  if (solvable < rank || !solved.converged) {
+    // Rank-deficient or unconverged compact problem: make sure the factor
+    // still has orthonormal columns (HOOI's fit formula depends on it).
+    la::orthonormalize_columns(out.factor);
+  }
+
+  out.compact_u.resize_zero(rows.size(), rank);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t j = 0; j < rank; ++j) {
+      out.compact_u(r, j) = out.factor(rows[r], j);
+    }
+  }
+  return out;
+}
+
+}  // namespace ht::core

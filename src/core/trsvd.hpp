@@ -1,0 +1,45 @@
+// TRSVD step of HOOI: leading left singular vectors of the (compact)
+// matricized TTMc result Y(n) (paper Section III-A.2).
+//
+// Default method is the matrix-free Lanczos solver (the paper's SLEPc
+// substitute). The Gram-matrix method — eigendecomposition of Y^T Y, which
+// is only prod-of-ranks sized — is provided as a cross-check and ablation;
+// the paper's argument against Gram methods concerns Y Y^T (I_n x I_n) and,
+// in the fine-grain distributed setting, any method that would require
+// assembling Y(n).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "la/lanczos.hpp"
+#include "la/matrix.hpp"
+#include "tensor/types.hpp"
+
+namespace ht::core {
+
+using tensor::index_t;
+
+enum class TrsvdMethod { kLanczos, kGram };
+
+struct FactorTrsvd {
+  /// Full factor U_n: dim x rank, orthonormal columns. Rows outside the
+  /// compact row set are zero (or canonical completions when the compact
+  /// problem is rank-deficient).
+  la::Matrix factor;
+  /// Compact left singular vectors (rows.size() x rank) — the rows of
+  /// `factor` at the compact row positions; the HOOI core step uses this.
+  la::Matrix compact_u;
+  std::vector<double> sigma;
+  std::size_t solver_steps = 0;
+};
+
+/// Compute the leading `rank` left singular vectors of the compact matrix
+/// `y` whose row r is global row rows[r] of the full (dim x y.cols())
+/// matricized tensor, and scatter them into a dim x rank factor.
+FactorTrsvd trsvd_factor(const la::Matrix& y, std::span<const index_t> rows,
+                         index_t dim, std::size_t rank,
+                         TrsvdMethod method = TrsvdMethod::kLanczos,
+                         const la::TrsvdOptions& options = {});
+
+}  // namespace ht::core

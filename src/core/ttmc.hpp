@@ -1,0 +1,52 @@
+// Numeric TTMc: the nonzero-based formulation of paper Eq. (4) /
+// Algorithm 2, evaluated with the precomputed symbolic update lists.
+//
+// For mode n, computes the compact matricized product
+//   Y(n)(i, :) = sum_{x in ul_n(i)} x * kron_{t != n} U_t(i_t, :)
+// with one dense row of width prod_{t != n} R_t per non-empty row i in J_n.
+// Rows are independent (single writer), so the loop is a lock-free OpenMP
+// parfor; the paper uses dynamic scheduling to absorb slice-size skew.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/symbolic.hpp"
+#include "la/matrix.hpp"
+#include "tensor/coo_tensor.hpp"
+
+namespace ht::core {
+
+enum class Schedule { kDynamic, kStatic };
+
+struct TtmcOptions {
+  Schedule schedule = Schedule::kDynamic;
+};
+
+/// Width of Y(n) rows: product of factor column counts over modes != n.
+std::size_t ttmc_row_width(const std::vector<la::Matrix>& factors,
+                           std::size_t mode);
+
+/// Compute the compact Y(n): row r corresponds to global row sym.rows[r].
+/// `y` is resized to (sym.num_rows() x ttmc_row_width()).
+void ttmc_mode(const CooTensor& x, const std::vector<la::Matrix>& factors,
+               std::size_t mode, const ModeSymbolic& sym, la::Matrix& y,
+               const TtmcOptions& options = {});
+
+/// Single-nonzero contribution: out += value * kron_{t != n} U_t(idx_t, :).
+/// Exposed for tests and the fine-grain distributed path.
+void accumulate_kron(const CooTensor& x, nnz_t e,
+                     const std::vector<la::Matrix>& factors, std::size_t mode,
+                     std::span<double> out);
+
+/// TTMc restricted to a subset of the symbolic rows: row p of `y` is the
+/// compact row positions[p] of the full computation. The coarse-grain
+/// distributed algorithm computes only its owned rows this way (paper
+/// Algorithm 4, K_n = I_n^k).
+void ttmc_mode_subset(const CooTensor& x,
+                      const std::vector<la::Matrix>& factors, std::size_t mode,
+                      const ModeSymbolic& sym,
+                      std::span<const std::uint32_t> positions, la::Matrix& y,
+                      const TtmcOptions& options = {});
+
+}  // namespace ht::core

@@ -1,0 +1,75 @@
+#include "core/tucker.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ht::core {
+
+std::vector<index_t> TuckerDecomposition::ranks() const {
+  std::vector<index_t> r;
+  r.reserve(factors.size());
+  for (const auto& f : factors) r.push_back(static_cast<index_t>(f.cols()));
+  return r;
+}
+
+double TuckerDecomposition::reconstruct_at(std::span<const index_t> idx) const {
+  HT_CHECK(idx.size() == order());
+  const auto& shape = core.shape();
+  // Odometer over the core, last mode fastest — matches core.flat() layout.
+  std::vector<index_t> r(order(), 0);
+  double value = 0.0;
+  for (std::size_t off = 0; off < core.size(); ++off) {
+    double term = core.flat()[off];
+    if (term != 0.0) {
+      for (std::size_t n = 0; n < order(); ++n) {
+        term *= factors[n](idx[n], r[n]);
+      }
+      value += term;
+    }
+    for (std::size_t n = order(); n-- > 0;) {
+      if (++r[n] < shape[n]) break;
+      r[n] = 0;
+    }
+  }
+  return value;
+}
+
+tensor::DenseTensor TuckerDecomposition::reconstruct_dense() const {
+  tensor::DenseTensor x = core;
+  // X = G x_1 U_1 x_2 ... x_N U_N; dense_ttm applies factors as U^T with U
+  // of size (input mode size x output size), so pass U_n transposed.
+  for (std::size_t n = 0; n < order(); ++n) {
+    x = tensor::dense_ttm(x, n, factors[n].transposed());
+  }
+  return x;
+}
+
+double fit_from_core_norm(double x_norm2, double core_norm2) {
+  HT_CHECK_MSG(x_norm2 > 0, "fit undefined for zero tensor");
+  const double resid2 = std::max(0.0, x_norm2 - core_norm2);
+  return 1.0 - std::sqrt(resid2) / std::sqrt(x_norm2);
+}
+
+double fit_exact(const tensor::CooTensor& x, const TuckerDecomposition& t) {
+  HT_CHECK(x.order() == t.order());
+  // ||X - Xhat||^2 = sum_{nz} (x - xhat)^2 + (||Xhat||^2 - sum_{nz} xhat^2).
+  double resid2 = 0.0;
+  double model_on_support2 = 0.0;
+  std::vector<index_t> idx(x.order());
+  for (tensor::nnz_t e = 0; e < x.nnz(); ++e) {
+    for (std::size_t n = 0; n < x.order(); ++n) idx[n] = x.index(n, e);
+    const double xhat = t.reconstruct_at(idx);
+    const double d = x.value(e) - xhat;
+    resid2 += d * d;
+    model_on_support2 += xhat * xhat;
+  }
+  // ||Xhat||^2 == ||G||^2 for orthonormal factors.
+  const double core_norm = t.core.frobenius_norm();
+  resid2 += std::max(0.0, core_norm * core_norm - model_on_support2);
+  const double x_norm2 = x.norm2_squared();
+  HT_CHECK_MSG(x_norm2 > 0, "fit undefined for zero tensor");
+  return 1.0 - std::sqrt(resid2) / std::sqrt(x_norm2);
+}
+
+}  // namespace ht::core

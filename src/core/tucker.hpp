@@ -1,0 +1,43 @@
+// Tucker decomposition container and quality measures.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "tensor/coo_tensor.hpp"
+#include "tensor/dense_tensor.hpp"
+
+namespace ht::core {
+
+using tensor::index_t;
+
+/// [[G; U_1, ..., U_N]]: a core tensor of shape ranks and one orthonormal
+/// factor matrix (I_n x R_n) per mode.
+struct TuckerDecomposition {
+  tensor::DenseTensor core;
+  std::vector<la::Matrix> factors;
+
+  [[nodiscard]] std::size_t order() const { return factors.size(); }
+  [[nodiscard]] std::vector<index_t> ranks() const;
+
+  /// Model value at one coordinate:
+  ///   sum_{r} G(r) * prod_n U_n(i_n, r_n).
+  /// Used by the recommender/prediction examples.
+  [[nodiscard]] double reconstruct_at(std::span<const index_t> idx) const;
+
+  /// Densify the model (test sizes only).
+  [[nodiscard]] tensor::DenseTensor reconstruct_dense() const;
+};
+
+/// Fit of a decomposition against X: 1 - ||X - Xhat|| / ||X||. For
+/// orthonormal factors ||X - Xhat||^2 = ||X||^2 - ||G||^2 (the quantity the
+/// paper's convergence check uses), which avoids forming Xhat.
+double fit_from_core_norm(double x_norm2, double core_norm2);
+
+/// Exact fit by evaluating the model at every nonzero and accounting for the
+/// model mass off the nonzero support (test sizes only; O(nnz * prod R)).
+double fit_exact(const tensor::CooTensor& x, const TuckerDecomposition& t);
+
+}  // namespace ht::core

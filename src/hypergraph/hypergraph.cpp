@@ -1,0 +1,57 @@
+#include "hypergraph/hypergraph.hpp"
+
+#include <numeric>
+
+namespace ht::hypergraph {
+
+Hypergraph Hypergraph::build(std::size_t num_vertices,
+                             const std::vector<std::vector<vid_t>>& net_pins,
+                             std::vector<weight_t> vertex_weights,
+                             std::vector<weight_t> net_costs) {
+  Hypergraph h;
+  h.num_vertices_ = num_vertices;
+
+  if (vertex_weights.empty()) {
+    vertex_weights.assign(num_vertices, 1);
+  }
+  HT_CHECK_MSG(vertex_weights.size() == num_vertices,
+               "vertex weight arity mismatch");
+  if (net_costs.empty()) {
+    net_costs.assign(net_pins.size(), 1);
+  }
+  HT_CHECK_MSG(net_costs.size() == net_pins.size(), "net cost arity mismatch");
+
+  std::size_t total_pins = 0;
+  for (const auto& pins : net_pins) total_pins += pins.size();
+
+  h.net_ptr_.reserve(net_pins.size() + 1);
+  h.net_ptr_.push_back(0);
+  h.pins_.reserve(total_pins);
+  for (const auto& pins : net_pins) {
+    for (vid_t v : pins) {
+      HT_CHECK_MSG(v < num_vertices, "pin vertex out of range");
+      h.pins_.push_back(v);
+    }
+    h.net_ptr_.push_back(h.pins_.size());
+  }
+
+  // Transpose to vertex -> nets.
+  h.vertex_ptr_.assign(num_vertices + 1, 0);
+  for (vid_t v : h.pins_) ++h.vertex_ptr_[v + 1];
+  std::partial_sum(h.vertex_ptr_.begin(), h.vertex_ptr_.end(),
+                   h.vertex_ptr_.begin());
+  h.nets_.resize(h.pins_.size());
+  std::vector<std::size_t> cursor(h.vertex_ptr_.begin(),
+                                  h.vertex_ptr_.end() - 1);
+  for (nid_t n = 0; n < net_pins.size(); ++n) {
+    for (vid_t v : net_pins[n]) h.nets_[cursor[v]++] = n;
+  }
+
+  h.vertex_weights_ = std::move(vertex_weights);
+  h.net_costs_ = std::move(net_costs);
+  h.total_weight_ = std::accumulate(h.vertex_weights_.begin(),
+                                    h.vertex_weights_.end(), weight_t{0});
+  return h;
+}
+
+}  // namespace ht::hypergraph

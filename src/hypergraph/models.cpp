@@ -1,0 +1,100 @@
+#include "hypergraph/models.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ht::hypergraph {
+
+using tensor::CooTensor;
+using tensor::index_t;
+using tensor::nnz_t;
+
+FineGrainModel build_fine_grain_model(const CooTensor& x) {
+  HT_CHECK_MSG(x.nnz() < (nnz_t{1} << 32),
+               "fine-grain model limited to 2^32 nonzeros");
+  FineGrainModel model;
+  std::vector<std::vector<vid_t>> nets;
+
+  for (std::size_t mode = 0; mode < x.order(); ++mode) {
+    const auto idx = x.indices(mode);
+    // Counting sort of nonzero ordinals by row index.
+    std::vector<nnz_t> row_ptr(x.dim(mode) + 1, 0);
+    for (index_t i : idx) ++row_ptr[i + 1];
+    std::partial_sum(row_ptr.begin(), row_ptr.end(), row_ptr.begin());
+    std::vector<vid_t> by_row(x.nnz());
+    std::vector<nnz_t> cursor(row_ptr.begin(), row_ptr.end() - 1);
+    for (nnz_t t = 0; t < x.nnz(); ++t) {
+      by_row[cursor[idx[t]]++] = static_cast<vid_t>(t);
+    }
+    for (index_t i = 0; i < x.dim(mode); ++i) {
+      const nnz_t begin = row_ptr[i], end = row_ptr[i + 1];
+      if (end - begin < 2) continue;  // single-pin nets can't be cut
+      nets.emplace_back(by_row.begin() + static_cast<long>(begin),
+                        by_row.begin() + static_cast<long>(end));
+      model.net_mode.push_back(static_cast<std::uint8_t>(mode));
+      model.net_index.push_back(i);
+    }
+  }
+
+  model.hg = Hypergraph::build(x.nnz(), nets);
+  return model;
+}
+
+CoarseGrainModel build_coarse_grain_model(const CooTensor& x,
+                                          std::size_t mode,
+                                          std::size_t max_net_pins) {
+  HT_CHECK(mode < x.order());
+
+  // Compact to non-empty rows; weights are slice nonzero counts (the TTMc
+  // work of task t^mode_i).
+  std::vector<nnz_t> hist(x.dim(mode), 0);
+  for (index_t i : x.indices(mode)) ++hist[i];
+  CoarseGrainModel model;
+  std::vector<vid_t> compact_of(x.dim(mode), 0);
+  std::vector<weight_t> weights;
+  for (index_t i = 0; i < x.dim(mode); ++i) {
+    if (hist[i] == 0) continue;
+    compact_of[i] = static_cast<vid_t>(model.rows.size());
+    model.rows.push_back(i);
+    weights.push_back(static_cast<weight_t>(hist[i]));
+  }
+
+  std::vector<std::vector<vid_t>> nets;
+  const auto mode_idx = x.indices(mode);
+  std::vector<std::uint64_t> pairs;
+  pairs.reserve(x.nnz());
+  for (std::size_t t = 0; t < x.order(); ++t) {
+    if (t == mode) continue;
+    const auto other_idx = x.indices(t);
+    // (other row j, compact mode row i) pairs; sort + unique gives deduped
+    // pins grouped by j.
+    pairs.clear();
+    for (nnz_t e = 0; e < x.nnz(); ++e) {
+      pairs.push_back((static_cast<std::uint64_t>(other_idx[e]) << 32) |
+                      compact_of[mode_idx[e]]);
+    }
+    std::sort(pairs.begin(), pairs.end());
+    pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+
+    std::size_t begin = 0;
+    while (begin < pairs.size()) {
+      const std::uint64_t j = pairs[begin] >> 32;
+      std::size_t end = begin;
+      while (end < pairs.size() && (pairs[end] >> 32) == j) ++end;
+      if (end - begin >= 2 && end - begin <= max_net_pins) {
+        std::vector<vid_t> pins;
+        pins.reserve(end - begin);
+        for (std::size_t k = begin; k < end; ++k) {
+          pins.push_back(static_cast<vid_t>(pairs[k] & 0xffffffffULL));
+        }
+        nets.push_back(std::move(pins));
+      }
+      begin = end;
+    }
+  }
+
+  model.hg = Hypergraph::build(model.rows.size(), nets, std::move(weights));
+  return model;
+}
+
+}  // namespace ht::hypergraph

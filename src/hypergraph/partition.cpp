@@ -1,0 +1,69 @@
+#include "hypergraph/partition.hpp"
+
+#include <algorithm>
+
+namespace ht::hypergraph {
+
+weight_t connectivity_cutsize(const Hypergraph& h, const Partition& p) {
+  weight_t cut = 0;
+  std::vector<std::uint32_t> seen(p.num_parts, 0);
+  std::uint32_t stamp = 0;
+  for (nid_t n = 0; n < h.num_nets(); ++n) {
+    ++stamp;
+    int lambda = 0;
+    for (vid_t v : h.net_pins(n)) {
+      const int part = p.part_of[v];
+      if (seen[part] != stamp) {
+        seen[part] = stamp;
+        ++lambda;
+      }
+    }
+    if (lambda > 1) cut += h.net_cost(n) * (lambda - 1);
+  }
+  return cut;
+}
+
+weight_t cutnet_cutsize(const Hypergraph& h, const Partition& p) {
+  weight_t cut = 0;
+  for (nid_t n = 0; n < h.num_nets(); ++n) {
+    const auto pins = h.net_pins(n);
+    if (pins.empty()) continue;
+    const int first = p.part_of[pins.front()];
+    for (vid_t v : pins) {
+      if (p.part_of[v] != first) {
+        cut += h.net_cost(n);
+        break;
+      }
+    }
+  }
+  return cut;
+}
+
+std::vector<weight_t> part_weights(const Hypergraph& h, const Partition& p) {
+  std::vector<weight_t> w(p.num_parts, 0);
+  for (vid_t v = 0; v < h.num_vertices(); ++v) {
+    w[p.part_of[v]] += h.vertex_weight(v);
+  }
+  return w;
+}
+
+double imbalance(const Hypergraph& h, const Partition& p) {
+  if (h.num_vertices() == 0 || h.total_vertex_weight() == 0) return 0.0;
+  const auto w = part_weights(h, p);
+  const weight_t max_w = *std::max_element(w.begin(), w.end());
+  const double avg =
+      static_cast<double>(h.total_vertex_weight()) / p.num_parts;
+  return static_cast<double>(max_w) / avg - 1.0;
+}
+
+void validate_partition(const Hypergraph& h, const Partition& p) {
+  HT_CHECK_MSG(p.part_of.size() == h.num_vertices(),
+               "partition arity mismatch");
+  HT_CHECK_MSG(p.num_parts >= 1, "need at least one part");
+  for (int part : p.part_of) {
+    HT_CHECK_MSG(part >= 0 && part < p.num_parts,
+                 "vertex assigned to invalid part " << part);
+  }
+}
+
+}  // namespace ht::hypergraph

@@ -1,0 +1,36 @@
+// Partition representation and quality metrics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hypergraph/hypergraph.hpp"
+
+namespace ht::hypergraph {
+
+/// A k-way assignment of vertices to parts.
+struct Partition {
+  int num_parts = 1;
+  std::vector<int> part_of;  // one entry per vertex
+
+  [[nodiscard]] int operator[](vid_t v) const { return part_of[v]; }
+};
+
+/// Connectivity metric: sum over nets of cost * (lambda - 1), where lambda is
+/// the number of parts the net's pins touch. Equals the total communication
+/// volume of the modeled HOOI iteration.
+weight_t connectivity_cutsize(const Hypergraph& h, const Partition& p);
+
+/// Cut-net metric: sum of costs of nets spanning more than one part.
+weight_t cutnet_cutsize(const Hypergraph& h, const Partition& p);
+
+/// Total vertex weight per part.
+std::vector<weight_t> part_weights(const Hypergraph& h, const Partition& p);
+
+/// max(part weight) / (total weight / k) - 1; zero is perfect balance.
+double imbalance(const Hypergraph& h, const Partition& p);
+
+/// Validate: every vertex assigned to [0, num_parts).
+void validate_partition(const Hypergraph& h, const Partition& p);
+
+}  // namespace ht::hypergraph

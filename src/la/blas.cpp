@@ -1,0 +1,167 @@
+#include "la/blas.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ht::la {
+
+namespace {
+std::atomic<bool> g_threaded{true};
+
+// Rows below this threshold are not worth an OpenMP region.
+constexpr std::size_t kParallelRowThreshold = 256;
+}  // namespace
+
+void set_blas_threading(bool enabled) { g_threaded.store(enabled); }
+bool blas_threading() { return g_threaded.load(); }
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  HT_CHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  HT_CHECK(x.size() == y.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
+  return s;
+}
+
+double nrm2(std::span<const double> x) {
+  double s = 0.0;
+  for (double v : x) s += v * v;
+  return std::sqrt(s);
+}
+
+void scal(double alpha, std::span<double> x) {
+  for (double& v : x) v *= alpha;
+}
+
+void gemv(const Matrix& a, std::span<const double> x, std::span<double> y) {
+  HT_CHECK(x.size() == a.cols());
+  HT_CHECK(y.size() == a.rows());
+  const std::size_t m = a.rows();
+  const bool par = g_threaded.load() && m >= kParallelRowThreshold;
+#pragma omp parallel for schedule(static) if (par)
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto row = a.row(i);
+    double s = 0.0;
+    for (std::size_t j = 0; j < row.size(); ++j) s += row[j] * x[j];
+    y[i] = s;
+  }
+}
+
+void gemv_t(const Matrix& a, std::span<const double> x, std::span<double> y) {
+  HT_CHECK(x.size() == a.rows());
+  HT_CHECK(y.size() == a.cols());
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  const bool par = g_threaded.load() && m >= kParallelRowThreshold && n >= 8;
+  if (!par) {
+    std::fill(y.begin(), y.end(), 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto row = a.row(i);
+      const double xi = x[i];
+      for (std::size_t j = 0; j < n; ++j) y[j] += xi * row[j];
+    }
+    return;
+  }
+  std::fill(y.begin(), y.end(), 0.0);
+#pragma omp parallel
+  {
+    std::vector<double> local(n, 0.0);
+#pragma omp for schedule(static) nowait
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto row = a.row(i);
+      const double xi = x[i];
+      for (std::size_t j = 0; j < n; ++j) local[j] += xi * row[j];
+    }
+#pragma omp critical(ht_gemv_t_accum)
+    for (std::size_t j = 0; j < n; ++j) y[j] += local[j];
+  }
+}
+
+Matrix gemm(const Matrix& a, const Matrix& b) {
+  HT_CHECK_MSG(a.cols() == b.rows(), "gemm shape mismatch: " << a.rows() << "x"
+                                       << a.cols() << " * " << b.rows() << "x"
+                                       << b.cols());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  Matrix c(m, n);
+  const bool par = g_threaded.load() && m >= kParallelRowThreshold;
+#pragma omp parallel for schedule(static) if (par)
+  for (std::size_t i = 0; i < m; ++i) {
+    double* ci = c.data() + i * n;
+    const double* ai = a.data() + i * k;
+    for (std::size_t l = 0; l < k; ++l) {
+      const double ail = ai[l];
+      const double* bl = b.data() + l * n;
+      for (std::size_t j = 0; j < n; ++j) ci[j] += ail * bl[j];
+    }
+  }
+  return c;
+}
+
+Matrix gemm_tn(const Matrix& a, const Matrix& b) {
+  HT_CHECK_MSG(a.rows() == b.rows(), "gemm_tn shape mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  Matrix c(k, n);
+  const bool par = g_threaded.load() && m >= kParallelRowThreshold;
+  if (!par) {
+    for (std::size_t i = 0; i < m; ++i) {
+      const double* ai = a.data() + i * k;
+      const double* bi = b.data() + i * n;
+      for (std::size_t l = 0; l < k; ++l) {
+        const double ail = ai[l];
+        double* cl = c.data() + l * n;
+        for (std::size_t j = 0; j < n; ++j) cl[j] += ail * bi[j];
+      }
+    }
+    return c;
+  }
+#pragma omp parallel
+  {
+    Matrix local(k, n);
+#pragma omp for schedule(static) nowait
+    for (std::size_t i = 0; i < m; ++i) {
+      const double* ai = a.data() + i * k;
+      const double* bi = b.data() + i * n;
+      for (std::size_t l = 0; l < k; ++l) {
+        const double ail = ai[l];
+        double* cl = local.data() + l * n;
+        for (std::size_t j = 0; j < n; ++j) cl[j] += ail * bi[j];
+      }
+    }
+#pragma omp critical(ht_gemm_tn_accum)
+    {
+      double* cd = c.data();
+      const double* ld = local.data();
+      for (std::size_t idx = 0; idx < k * n; ++idx) cd[idx] += ld[idx];
+    }
+  }
+  return c;
+}
+
+Matrix gemm_nt(const Matrix& a, const Matrix& b) {
+  HT_CHECK_MSG(a.cols() == b.cols(), "gemm_nt shape mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  Matrix c(m, n);
+  const bool par = g_threaded.load() && m >= kParallelRowThreshold;
+#pragma omp parallel for schedule(static) if (par)
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* ai = a.data() + i * k;
+    double* ci = c.data() + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* bj = b.data() + j * k;
+      double s = 0.0;
+      for (std::size_t l = 0; l < k; ++l) s += ai[l] * bj[l];
+      ci[j] = s;
+    }
+  }
+  return c;
+}
+
+}  // namespace ht::la

@@ -1,0 +1,47 @@
+// Hand-written BLAS-like kernels (substitute for the paper's ESSL).
+//
+// Only the shapes HOOI needs are provided: tall-skinny GEMM/GEMV with small
+// inner dimensions (ranks R <= ~16, Kronecker widths <= ~10^3). gemm blocks
+// for cache and parallelizes over rows with OpenMP when profitable.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "la/matrix.hpp"
+
+namespace ht::la {
+
+/// y += alpha * x (vector axpy).
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// Dot product.
+double dot(std::span<const double> x, std::span<const double> y);
+
+/// Euclidean norm.
+double nrm2(std::span<const double> x);
+
+/// x *= alpha.
+void scal(double alpha, std::span<double> x);
+
+/// y = A * x (A: m x n row-major).
+void gemv(const Matrix& a, std::span<const double> x, std::span<double> y);
+
+/// y = A^T * x (A: m x n row-major; y has size n).
+void gemv_t(const Matrix& a, std::span<const double> x, std::span<double> y);
+
+/// C = A * B.
+Matrix gemm(const Matrix& a, const Matrix& b);
+
+/// C = A^T * B (A: m x k -> C: k x n). The HOOI core-tensor step
+/// G(N) = U_N^T Y(N) is this shape.
+Matrix gemm_tn(const Matrix& a, const Matrix& b);
+
+/// C = A * B^T.
+Matrix gemm_nt(const Matrix& a, const Matrix& b);
+
+/// Enable/disable OpenMP inside gemm/gemv (tests exercise both paths).
+void set_blas_threading(bool enabled);
+bool blas_threading();
+
+}  // namespace ht::la

@@ -1,0 +1,72 @@
+#include "la/eig.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace ht::la {
+
+EigResult eig_sym_jacobi(const Matrix& a_in) {
+  HT_CHECK_MSG(a_in.rows() == a_in.cols(), "eig_sym requires a square matrix");
+  const std::size_t n = a_in.rows();
+  Matrix a = a_in;
+  Matrix v = Matrix::identity(n);
+
+  const int max_sweeps = 64;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) off += a(p, q) * a(p, q);
+    }
+    if (off < 1e-26 * std::max(1.0, a.frobenius_norm())) break;
+
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(1.0 + theta * theta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+
+        for (std::size_t i = 0; i < n; ++i) {
+          const double aip = a(i, p), aiq = a(i, q);
+          a(i, p) = c * aip - s * aiq;
+          a(i, q) = s * aip + c * aiq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double api = a(p, i), aqi = a(q, i);
+          a(p, i) = c * api - s * aqi;
+          a(q, i) = s * api + c * aqi;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vip = v(i, p), viq = v(i, q);
+          v(i, p) = c * vip - s * viq;
+          v(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  std::vector<double> w(n);
+  for (std::size_t i = 0; i < n; ++i) w[i] = a(i, i);
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t x, std::size_t y) { return w[x] > w[y]; });
+
+  EigResult out;
+  out.w.resize(n);
+  out.v.resize_zero(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.w[j] = w[order[j]];
+    for (std::size_t i = 0; i < n; ++i) out.v(i, j) = v(i, order[j]);
+  }
+  return out;
+}
+
+}  // namespace ht::la

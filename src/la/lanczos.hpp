@@ -1,0 +1,60 @@
+// Truncated SVD by Golub–Kahan–Lanczos bidiagonalization (SLEPc substitute).
+//
+// Computes the leading `rank` left singular vectors/values of an operator A
+// (m x c) using only A v / A^T u products. Designed for the HOOI TRSVD
+// regime: c = prod of Tucker ranks (small), m = tensor mode size (huge).
+//
+// Memory: only the column-space basis V (c x steps) and two row-space
+// vectors are kept; one-sided reorthogonalization on V (Simon & Zha) keeps
+// the factorization accurate without storing the long left basis. Left
+// vectors are recovered at the end as u_i = A (V q_i) / sigma_i and then
+// re-orthonormalized.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "la/linear_operator.hpp"
+#include "la/matrix.hpp"
+
+namespace ht::la {
+
+struct TrsvdOptions {
+  /// Residual tolerance relative to the largest singular value.
+  double tol = 1e-10;
+  /// Hard cap on bidiagonalization steps (0 = automatic: min(c, 2*rank+20)).
+  std::size_t max_steps = 0;
+  /// Steps between convergence tests. The test costs an SVD of the
+  /// projected (steps x steps) matrix — running it every step would
+  /// dominate the solve for small operators (and is replicated on every
+  /// rank in the distributed setting).
+  std::size_t check_interval = 4;
+  /// Seed for the deterministic starting vector.
+  std::uint64_t seed = 0x5eed5eedULL;
+};
+
+struct TrsvdResult {
+  /// Leading left singular vectors, row_local_size() x rank.
+  Matrix u;
+  /// Leading singular values, descending.
+  std::vector<double> sigma;
+  /// Bidiagonalization steps performed.
+  std::size_t steps = 0;
+  /// Whether all requested triplets met the residual tolerance.
+  bool converged = false;
+  /// Number of operator applications (A and A^T combined).
+  std::size_t operator_applies = 0;
+};
+
+/// Leading `rank` singular triplets of `op`. rank must satisfy
+/// 1 <= rank <= min(row_global_size, col_size).
+TrsvdResult lanczos_trsvd(TrsvdOperator& op, std::size_t rank,
+                          const TrsvdOptions& options = {});
+
+/// Gram-matrix TRSVD baseline: forms A^T A (c x c), eigendecomposes it, and
+/// recovers U = A V S^{-1}. Used as a cross-check and in ablation benches;
+/// *not* usable in the fine-grain distributed setting (the paper's point:
+/// it would require assembling Y(n)).
+TrsvdResult gram_trsvd(const Matrix& a, std::size_t rank);
+
+}  // namespace ht::la

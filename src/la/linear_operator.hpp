@@ -1,0 +1,73 @@
+// Matrix-free operator interface for the truncated SVD solver.
+//
+// This is the seam that makes the paper's distributed TRSVD work: the
+// Lanczos bidiagonalization below only ever touches the matricized TTMc
+// result Y(n) through
+//   u = A v        (MxV)
+//   v = A^T u      (MTxV)
+//   dot(u_a, u_b)  (row-space inner product)
+// In shared memory these are plain dense kernels; in the fine-grain
+// distributed setting apply() folds partial row sums to row owners, and
+// apply_transpose() expands owner entries back to replicas and reduces the
+// (small, replicated) column-space vector — without ever assembling Y(n).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "la/blas.hpp"
+#include "la/matrix.hpp"
+
+namespace ht::la {
+
+class TrsvdOperator {
+ public:
+  virtual ~TrsvdOperator() = default;
+
+  /// Length of (local part of) row-space vectors u.
+  [[nodiscard]] virtual std::size_t row_local_size() const = 0;
+
+  /// Length of column-space vectors v (replicated everywhere in the
+  /// distributed setting; prod of ranks for HOOI).
+  [[nodiscard]] virtual std::size_t col_size() const = 0;
+
+  /// u = A v. `v` has col_size() entries, `u` row_local_size() entries.
+  virtual void apply(std::span<const double> v, std::span<double> u) = 0;
+
+  /// v = A^T u. Must produce a globally consistent v on every rank.
+  virtual void apply_transpose(std::span<const double> u,
+                               std::span<double> v) = 0;
+
+  /// Row-space inner product; globally reduced in distributed settings.
+  [[nodiscard]] virtual double row_dot(std::span<const double> a,
+                                       std::span<const double> b) const {
+    return dot(a, b);
+  }
+
+  /// Global number of rows (for rank validation); defaults to local size.
+  [[nodiscard]] virtual std::size_t row_global_size() const {
+    return row_local_size();
+  }
+};
+
+/// Shared-memory operator over an explicit dense row-major matrix.
+class DenseOperator final : public TrsvdOperator {
+ public:
+  explicit DenseOperator(const Matrix& a) : a_(a) {}
+
+  [[nodiscard]] std::size_t row_local_size() const override { return a_.rows(); }
+  [[nodiscard]] std::size_t col_size() const override { return a_.cols(); }
+
+  void apply(std::span<const double> v, std::span<double> u) override {
+    gemv(a_, v, u);
+  }
+  void apply_transpose(std::span<const double> u,
+                       std::span<double> v) override {
+    gemv_t(a_, u, v);
+  }
+
+ private:
+  const Matrix& a_;
+};
+
+}  // namespace ht::la

@@ -1,0 +1,83 @@
+// Row-major dense matrix.
+//
+// Factor matrices U_n (I_n x R_n) and matricized TTMc outputs Y(n) are all
+// tall-and-skinny row-major matrices; the nonzero-based TTMc kernel works on
+// contiguous rows, which is why row-major is the only layout provided.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ht::la {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// rows x cols initialized from a flat row-major buffer.
+  Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    HT_CHECK_MSG(data_.size() == rows_ * cols_,
+                 "data size " << data_.size() << " != " << rows_ << "x"
+                              << cols_);
+  }
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] double& operator()(std::size_t i, std::size_t j) {
+    return data_[i * cols_ + j];
+  }
+  [[nodiscard]] const double& operator()(std::size_t i, std::size_t j) const {
+    return data_[i * cols_ + j];
+  }
+
+  /// Contiguous view of row i.
+  [[nodiscard]] std::span<double> row(std::size_t i) {
+    return {data_.data() + i * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t i) const {
+    return {data_.data() + i * cols_, cols_};
+  }
+
+  [[nodiscard]] double* data() { return data_.data(); }
+  [[nodiscard]] const double* data() const { return data_.data(); }
+
+  [[nodiscard]] std::span<double> flat() { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::span<const double> flat() const {
+    return {data_.data(), data_.size()};
+  }
+
+  void set_zero();
+
+  /// Resize to rows x cols; contents are zeroed.
+  void resize_zero(std::size_t rows, std::size_t cols);
+
+  /// Frobenius norm.
+  [[nodiscard]] double frobenius_norm() const;
+
+  /// Transposed copy.
+  [[nodiscard]] Matrix transposed() const;
+
+  /// Identity matrix of order n.
+  static Matrix identity(std::size_t n);
+
+  /// Elementwise comparison within absolute tolerance.
+  [[nodiscard]] bool approx_equal(const Matrix& other, double tol) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace ht::la

@@ -1,0 +1,29 @@
+// Dense SVD via one-sided Jacobi rotations.
+//
+// Only used on small matrices: the k x k projected bidiagonal problem inside
+// the Lanczos TRSVD, reference checks in tests, and the Gram-based TRSVD
+// cross-check. Accuracy over speed.
+#pragma once
+
+#include "la/matrix.hpp"
+
+#include <vector>
+
+namespace ht::la {
+
+/// Thin SVD A = U diag(s) V^T with U: m x k, V: n x k, k = min(m, n),
+/// singular values sorted descending.
+struct SvdResult {
+  Matrix u;
+  std::vector<double> s;
+  Matrix v;
+};
+
+/// One-sided Jacobi SVD. Intended for min(m, n) up to a few hundred.
+SvdResult svd_jacobi(const Matrix& a);
+
+/// Leading `rank` left singular vectors/values of A (m x n) computed by
+/// svd_jacobi; rank must be <= min(m, n). Convenience for tests/baselines.
+SvdResult svd_truncated_dense(const Matrix& a, std::size_t rank);
+
+}  // namespace ht::la

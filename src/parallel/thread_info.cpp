@@ -1,0 +1,18 @@
+#include "parallel/thread_info.hpp"
+
+#include <omp.h>
+
+namespace ht::parallel {
+
+int max_threads() { return omp_get_max_threads(); }
+
+ThreadScope::ThreadScope(int n)
+    : previous_(omp_get_max_threads()), active_(n > 0) {
+  if (active_) omp_set_num_threads(n);
+}
+
+ThreadScope::~ThreadScope() {
+  if (active_) omp_set_num_threads(previous_);
+}
+
+}  // namespace ht::parallel

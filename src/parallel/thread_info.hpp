@@ -1,0 +1,28 @@
+// Shared-memory thread configuration.
+//
+// The HOOI drivers take an explicit thread count (paper Table V sweeps 1..32
+// threads); these helpers scope OpenMP's team size without leaking the
+// setting into unrelated code.
+#pragma once
+
+namespace ht::parallel {
+
+/// Number of hardware threads OpenMP will use by default.
+int max_threads();
+
+/// RAII scope that pins omp_set_num_threads(n) and restores the previous
+/// value on destruction. n <= 0 means "leave unchanged".
+class ThreadScope {
+ public:
+  explicit ThreadScope(int n);
+  ~ThreadScope();
+
+  ThreadScope(const ThreadScope&) = delete;
+  ThreadScope& operator=(const ThreadScope&) = delete;
+
+ private:
+  int previous_;
+  bool active_;
+};
+
+}  // namespace ht::parallel

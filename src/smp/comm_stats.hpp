@@ -1,0 +1,37 @@
+// Communication-volume accounting for the simulated message-passing runtime.
+//
+// The paper's Table III reports per-process send/receive volumes (in vector
+// entries); the simulated runtime counts bytes at the same points a real MPI
+// implementation would move data. Collectives are credited with ring-model
+// volumes (see communicator.cpp), point-to-point with exact payload bytes.
+#pragma once
+
+#include <cstdint>
+
+namespace ht::smp {
+
+/// Per-rank communication counters. Each rank only mutates its own instance,
+/// so no synchronization is needed for recording; readers snapshot between
+/// phases (the SPMD code is barrier-synchronized there).
+struct CommStats {
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t collectives = 0;
+
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    return bytes_sent + bytes_received;
+  }
+
+  /// Volume delta between two snapshots.
+  [[nodiscard]] CommStats operator-(const CommStats& other) const {
+    return {bytes_sent - other.bytes_sent,
+            bytes_received - other.bytes_received,
+            messages_sent - other.messages_sent,
+            collectives - other.collectives};
+  }
+
+  void reset() { *this = CommStats{}; }
+};
+
+}  // namespace ht::smp

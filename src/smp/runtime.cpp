@@ -1,0 +1,53 @@
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "smp/communicator.hpp"
+#include "util/log.hpp"
+
+namespace ht::smp {
+
+void run_spmd(int nranks, const std::function<void(Communicator&)>& body) {
+  HT_CHECK_MSG(nranks >= 1, "need at least one rank");
+
+  World world(nranks);
+  std::vector<std::exception_ptr> errors(nranks);
+  std::vector<std::thread> threads;
+  threads.reserve(nranks);
+
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      Communicator comm(world, r);
+      try {
+        body(comm);
+      } catch (...) {
+        errors[r] = std::current_exception();
+        // Unblock peers waiting on this rank; they will unwind with an
+        // "aborted" error which run_spmd suppresses in favor of ours.
+        world.request_abort();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Prefer reporting a root-cause exception over secondary abort errors.
+  std::exception_ptr first_abort;
+  for (int r = 0; r < nranks; ++r) {
+    if (!errors[r]) continue;
+    try {
+      std::rethrow_exception(errors[r]);
+    } catch (const Error& e) {
+      const std::string what = e.what();
+      if (what.find("smp: world aborted") != std::string::npos) {
+        if (!first_abort) first_abort = errors[r];
+        continue;
+      }
+      std::rethrow_exception(errors[r]);
+    } catch (...) {
+      std::rethrow_exception(errors[r]);
+    }
+  }
+  if (first_abort) std::rethrow_exception(first_abort);
+}
+
+}  // namespace ht::smp

@@ -1,0 +1,85 @@
+// Sparse N-mode tensor in coordinate (COO) format.
+//
+// Structure-of-arrays layout: one contiguous index array per mode plus one
+// value array. The nonzero-based TTMc kernel reads every mode index of every
+// nonzero, and the symbolic pass streams one mode's array at a time — both
+// favor SoA over an array-of-tuples layout.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/types.hpp"
+#include "util/error.hpp"
+
+namespace ht::tensor {
+
+class CooTensor {
+ public:
+  CooTensor() = default;
+
+  /// Empty tensor with the given shape.
+  explicit CooTensor(Shape shape);
+
+  [[nodiscard]] std::size_t order() const { return shape_.size(); }
+  [[nodiscard]] const Shape& shape() const { return shape_; }
+  [[nodiscard]] index_t dim(std::size_t mode) const { return shape_[mode]; }
+  [[nodiscard]] nnz_t nnz() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+
+  /// Index array of one mode (length nnz).
+  [[nodiscard]] std::span<const index_t> indices(std::size_t mode) const {
+    return indices_[mode];
+  }
+  [[nodiscard]] std::span<index_t> indices(std::size_t mode) {
+    return indices_[mode];
+  }
+
+  [[nodiscard]] std::span<const value_t> values() const { return values_; }
+  [[nodiscard]] std::span<value_t> values() { return values_; }
+
+  /// Mode index of nonzero t along mode n.
+  [[nodiscard]] index_t index(std::size_t mode, nnz_t t) const {
+    return indices_[mode][t];
+  }
+  [[nodiscard]] value_t value(nnz_t t) const { return values_[t]; }
+
+  /// Append one nonzero; `idx` must have order() entries within the shape.
+  void push_back(std::span<const index_t> idx, value_t value);
+
+  /// Reserve capacity for n nonzeros.
+  void reserve(nnz_t n);
+
+  /// Sort nonzeros lexicographically by (mode 0, mode 1, ...).
+  void sort_lexicographic();
+
+  /// Sum duplicate coordinates (requires any consistent order; sorts first).
+  /// Entries that cancel to exactly zero are kept (harmless).
+  void sum_duplicates();
+
+  /// Squared Frobenius norm: sum of squared values.
+  [[nodiscard]] double norm2_squared() const;
+
+  /// Number of nonzeros in each mode-n slice (histogram of mode indices);
+  /// the coarse-grain partitioners balance on this.
+  [[nodiscard]] std::vector<nnz_t> slice_nnz(std::size_t mode) const;
+
+  /// Subset of nonzeros selected by ordinal; keeps shape. Used to build
+  /// per-rank local tensors from a fine-grain partition.
+  [[nodiscard]] CooTensor select(std::span<const nnz_t> ordinals) const;
+
+  /// Validate all indices are within shape; throws ht::InvalidArgument.
+  void validate() const;
+
+  /// Human-readable one-line summary, e.g. "3-mode 100x80x60, 5000 nnz".
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  Shape shape_;
+  std::vector<std::vector<index_t>> indices_;  // [mode][nonzero]
+  std::vector<value_t> values_;
+};
+
+}  // namespace ht::tensor

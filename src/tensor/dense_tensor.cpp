@@ -1,0 +1,140 @@
+#include "tensor/dense_tensor.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ht::tensor {
+
+namespace {
+constexpr std::size_t kDenseSizeLimit = std::size_t{1} << 30;  // 8 GiB of doubles
+}
+
+DenseTensor::DenseTensor(Shape shape) : shape_(std::move(shape)) {
+  HT_CHECK_MSG(!shape_.empty(), "tensor order must be >= 1");
+  std::size_t total = 1;
+  for (index_t d : shape_) {
+    HT_CHECK_MSG(d > 0, "all mode sizes must be positive");
+    total *= d;
+    HT_CHECK_MSG(total <= kDenseSizeLimit, "dense tensor too large");
+  }
+  data_.assign(total, 0.0);
+}
+
+std::size_t DenseTensor::offset(std::span<const index_t> idx) const {
+  HT_CHECK(idx.size() == order());
+  std::size_t off = 0;
+  for (std::size_t n = 0; n < order(); ++n) {
+    HT_CHECK(idx[n] < shape_[n]);
+    off = off * shape_[n] + idx[n];
+  }
+  return off;
+}
+
+double DenseTensor::frobenius_norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+la::Matrix DenseTensor::matricize(std::size_t mode) const {
+  HT_CHECK(mode < order());
+  const std::size_t rows = shape_[mode];
+  const std::size_t cols = data_.size() / rows;
+  la::Matrix m(rows, cols);
+
+  std::vector<index_t> idx(order(), 0);
+  for (std::size_t off = 0; off < data_.size(); ++off) {
+    // Column index: remaining modes in increasing order, last fastest.
+    std::size_t col = 0;
+    for (std::size_t n = 0; n < order(); ++n) {
+      if (n == mode) continue;
+      col = col * shape_[n] + idx[n];
+    }
+    m(idx[mode], col) = data_[off];
+
+    // Increment multi-index (row-major order matches `off`).
+    for (std::size_t n = order(); n-- > 0;) {
+      if (++idx[n] < shape_[n]) break;
+      idx[n] = 0;
+    }
+  }
+  return m;
+}
+
+DenseTensor DenseTensor::dematricize(const la::Matrix& m, const Shape& shape,
+                                     std::size_t mode) {
+  DenseTensor t(shape);
+  HT_CHECK(mode < shape.size());
+  HT_CHECK(m.rows() == shape[mode]);
+  HT_CHECK(m.rows() * m.cols() == t.size());
+
+  std::vector<index_t> idx(shape.size(), 0);
+  for (std::size_t off = 0; off < t.size(); ++off) {
+    std::size_t col = 0;
+    for (std::size_t n = 0; n < shape.size(); ++n) {
+      if (n == mode) continue;
+      col = col * shape[n] + idx[n];
+    }
+    t.data_[off] = m(idx[mode], col);
+    for (std::size_t n = shape.size(); n-- > 0;) {
+      if (++idx[n] < shape[n]) break;
+      idx[n] = 0;
+    }
+  }
+  return t;
+}
+
+DenseTensor DenseTensor::from_coo(const CooTensor& x) {
+  DenseTensor t(x.shape());
+  std::vector<index_t> idx(x.order());
+  for (nnz_t k = 0; k < x.nnz(); ++k) {
+    for (std::size_t n = 0; n < x.order(); ++n) idx[n] = x.index(n, k);
+    t.at(idx) += x.value(k);
+  }
+  return t;
+}
+
+DenseTensor dense_ttm(const DenseTensor& x, std::size_t mode,
+                      const la::Matrix& u) {
+  HT_CHECK(mode < x.order());
+  HT_CHECK_MSG(u.rows() == x.shape()[mode],
+               "ttm factor rows " << u.rows() << " != mode size "
+                                  << x.shape()[mode]);
+  Shape out_shape = x.shape();
+  out_shape[mode] = static_cast<index_t>(u.cols());
+  DenseTensor y(out_shape);
+
+  std::vector<index_t> idx(x.order(), 0);
+  std::vector<index_t> out_idx(x.order(), 0);
+  const std::size_t total = x.size();
+  for (std::size_t off = 0; off < total; ++off) {
+    const double v = x.flat()[off];
+    if (v != 0.0) {
+      out_idx = idx;
+      const index_t i = idx[mode];
+      for (std::size_t r = 0; r < u.cols(); ++r) {
+        out_idx[mode] = static_cast<index_t>(r);
+        y.at(out_idx) += v * u(i, r);
+      }
+    }
+    for (std::size_t n = x.order(); n-- > 0;) {
+      if (++idx[n] < x.shape()[n]) break;
+      idx[n] = 0;
+    }
+  }
+  return y;
+}
+
+DenseTensor dense_ttmc_except(const DenseTensor& x, std::size_t skip,
+                              std::span<const la::Matrix> factors) {
+  HT_CHECK(factors.size() == x.order());
+  DenseTensor y = x;
+  for (std::size_t n = 0; n < x.order(); ++n) {
+    if (n == skip) continue;
+    y = dense_ttm(y, n, factors[n]);
+  }
+  return y;
+}
+
+}  // namespace ht::tensor

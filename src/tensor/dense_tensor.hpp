@@ -1,0 +1,74 @@
+// Dense N-mode tensor, used for the (small) core tensor G, for brute-force
+// reference computations in tests, and for matricization.
+//
+// Layout convention used across HyperTensor: row-major with the LAST mode
+// varying fastest. The mode-n matricization X(n) arranges rows by mode-n
+// index and columns by the remaining modes in increasing mode order, last
+// fastest — matching the Kronecker-product order of the nonzero-based TTMc
+// formulation (paper Eq. 4). Column order of Y(n) is irrelevant to its left
+// singular vectors, so this choice is free but must be consistent.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "tensor/coo_tensor.hpp"
+#include "tensor/types.hpp"
+
+namespace ht::tensor {
+
+class DenseTensor {
+ public:
+  DenseTensor() = default;
+
+  /// Zero-initialized dense tensor of the given shape.
+  explicit DenseTensor(Shape shape);
+
+  [[nodiscard]] std::size_t order() const { return shape_.size(); }
+  [[nodiscard]] const Shape& shape() const { return shape_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  [[nodiscard]] std::span<const double> flat() const { return data_; }
+  [[nodiscard]] std::span<double> flat() { return data_; }
+
+  /// Linear offset of a multi-index (row-major, last mode fastest).
+  [[nodiscard]] std::size_t offset(std::span<const index_t> idx) const;
+
+  [[nodiscard]] double& at(std::span<const index_t> idx) {
+    return data_[offset(idx)];
+  }
+  [[nodiscard]] const double& at(std::span<const index_t> idx) const {
+    return data_[offset(idx)];
+  }
+
+  [[nodiscard]] double frobenius_norm() const;
+
+  /// Mode-n matricization as a dense matrix (copies).
+  [[nodiscard]] la::Matrix matricize(std::size_t mode) const;
+
+  /// Inverse of matricize: scatter a matrix back into tensor layout.
+  static DenseTensor dematricize(const la::Matrix& m, const Shape& shape,
+                                 std::size_t mode);
+
+  /// Densify a sparse tensor (test sizes only; checks total size).
+  static DenseTensor from_coo(const CooTensor& x);
+
+ private:
+  Shape shape_;
+  std::vector<double> data_;
+};
+
+/// Dense mode-n tensor-times-matrix product with the factor applied as in
+/// HOOI: result(..., r, ...) = sum_i x(..., i, ...) * u(i, r), i.e.
+/// Y = X x_n U^T in the paper's notation with U of size I_n x R.
+DenseTensor dense_ttm(const DenseTensor& x, std::size_t mode,
+                      const la::Matrix& u);
+
+/// Reference TTMc: apply dense_ttm in every mode except `skip` (all modes if
+/// skip == order). Brute force; tests only.
+DenseTensor dense_ttmc_except(const DenseTensor& x, std::size_t skip,
+                              std::span<const la::Matrix> factors);
+
+}  // namespace ht::tensor

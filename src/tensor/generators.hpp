@@ -1,0 +1,64 @@
+// Synthetic sparse tensor generators (substitute for the paper's Netflix /
+// NELL / Delicious / Flickr datasets; see DESIGN.md "Substitutions").
+//
+// Coordinates are drawn per mode from a truncated Zipf-like power law (real
+// user/item/tag data is heavily skewed), then de-duplicated; values carry a
+// planted low-rank (CP) structure plus noise so HOOI has signal to recover.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/coo_tensor.hpp"
+
+namespace ht::tensor {
+
+/// Uniform random coordinates, uniform values in [0, 1). Duplicates summed.
+CooTensor random_uniform(const Shape& shape, nnz_t target_nnz,
+                         std::uint64_t seed);
+
+/// Zipf(theta)-skewed coordinates per mode (theta = 0 gives uniform).
+/// Index popularity is decorrelated from index order by a bijective
+/// multiplicative shuffle, so block partitions don't align with popularity.
+CooTensor random_zipf(const Shape& shape, nnz_t target_nnz,
+                      const std::vector<double>& theta, std::uint64_t seed);
+
+/// Zipf-skewed coordinates with planted cross-mode *communities*: indices
+/// are split into `communities` bands per mode, and with probability
+/// `affinity` a nonzero draws all its indices from one community's bands
+/// (Zipf within the band). Real user/item/tag tensors exhibit exactly this
+/// co-occurrence locality — it is what hypergraph partitioning exploits
+/// (without it, fine-hp cannot beat fine-rd and the paper's Table II/III
+/// contrasts disappear).
+CooTensor random_zipf_communities(const Shape& shape, nnz_t target_nnz,
+                                  const std::vector<double>& theta,
+                                  std::size_t communities, double affinity,
+                                  std::uint64_t seed);
+
+/// Overwrite the values of `x` with a rank-`cp_rank` CP model evaluated at
+/// each coordinate, plus Gaussian noise of the given relative magnitude.
+void plant_low_rank_values(CooTensor& x, std::size_t cp_rank,
+                           double noise_level, std::uint64_t seed);
+
+/// One paper dataset preset (Table I), scaled down for laptop execution.
+struct PresetSpec {
+  std::string name;
+  Shape shape;              // scaled mode sizes
+  nnz_t nnz = 0;            // scaled nonzero target
+  std::vector<double> theta;  // per-mode skew
+  std::vector<index_t> ranks;  // decomposition ranks used by the paper
+};
+
+/// Presets: "netflix", "nell" (3-mode, R = 10), "delicious", "flickr"
+/// (4-mode, R = 5). `scale` multiplies mode sizes and nonzero count toward
+/// the paper's sizes (scale = 1 is the laptop default, ~0.4M nonzeros).
+PresetSpec paper_preset(const std::string& name, double scale = 1.0);
+
+/// Names of all four presets in Table I order.
+const std::vector<std::string>& paper_preset_names();
+
+/// Generate the tensor for a preset: Zipf coordinates + planted low rank.
+CooTensor generate_preset(const PresetSpec& spec, std::uint64_t seed = 42);
+
+}  // namespace ht::tensor

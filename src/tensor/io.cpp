@@ -1,0 +1,190 @@
+#include "tensor/io.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ht::tensor {
+
+namespace {
+
+struct ParsedLine {
+  std::vector<index_t> idx;
+  value_t value = 0;
+};
+
+// Parse "i1 i2 ... iN v"; returns false for blank/comment lines.
+bool parse_line(const std::string& line, std::size_t expected_order,
+                ParsedLine& out, std::size_t line_no) {
+  std::size_t start = line.find_first_not_of(" \t\r");
+  if (start == std::string::npos || line[start] == '#') return false;
+
+  std::istringstream is(line);
+  std::vector<double> fields;
+  double f;
+  while (is >> f) fields.push_back(f);
+  if (fields.empty()) {
+    throw IoError("line " + std::to_string(line_no) + ": unparsable");
+  }
+
+  if (expected_order != 0 && fields.size() != expected_order + 1) {
+    throw IoError("line " + std::to_string(line_no) + ": expected " +
+                  std::to_string(expected_order + 1) + " fields, got " +
+                  std::to_string(fields.size()));
+  }
+  if (fields.size() < 2) {
+    throw IoError("line " + std::to_string(line_no) +
+                  ": need at least one index and a value");
+  }
+
+  out.idx.clear();
+  for (std::size_t n = 0; n + 1 < fields.size(); ++n) {
+    const double v = fields[n];
+    if (v < 1 || v != static_cast<double>(static_cast<std::uint64_t>(v))) {
+      throw IoError("line " + std::to_string(line_no) +
+                    ": indices must be positive integers (1-based)");
+    }
+    out.idx.push_back(static_cast<index_t>(v - 1));  // to 0-based
+  }
+  out.value = fields.back();
+  return true;
+}
+
+}  // namespace
+
+CooTensor read_tns(std::istream& in, Shape shape) {
+  std::vector<ParsedLine> entries;
+  std::string line;
+  std::size_t order = shape.size();
+  std::size_t line_no = 0;
+  ParsedLine parsed;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!parse_line(line, order, parsed, line_no)) continue;
+    if (order == 0) order = parsed.idx.size();
+    entries.push_back(parsed);
+  }
+  if (order == 0) throw IoError("empty tensor file");
+
+  if (shape.empty()) {
+    shape.assign(order, 0);
+    for (const auto& e : entries) {
+      for (std::size_t n = 0; n < order; ++n) {
+        shape[n] = std::max(shape[n], static_cast<index_t>(e.idx[n] + 1));
+      }
+    }
+  }
+
+  CooTensor x(shape);
+  x.reserve(entries.size());
+  for (const auto& e : entries) {
+    if (e.idx.size() != order) throw IoError("inconsistent arity");
+    for (std::size_t n = 0; n < order; ++n) {
+      if (e.idx[n] >= shape[n]) {
+        throw IoError("index exceeds declared shape in mode " +
+                      std::to_string(n));
+      }
+    }
+    x.push_back(e.idx, e.value);
+  }
+  return x;
+}
+
+CooTensor read_tns_file(const std::string& path, Shape shape) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open " + path);
+  return read_tns(in, std::move(shape));
+}
+
+void write_tns(std::ostream& out, const CooTensor& x) {
+  out << "# HyperTensor .tns export: " << x.summary() << '\n';
+  for (nnz_t t = 0; t < x.nnz(); ++t) {
+    for (std::size_t n = 0; n < x.order(); ++n) {
+      out << (x.index(n, t) + 1) << ' ';
+    }
+    out << x.value(t) << '\n';
+  }
+}
+
+void write_tns_file(const std::string& path, const CooTensor& x) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open " + path + " for writing");
+  write_tns(out, x);
+  if (!out) throw IoError("write failed: " + path);
+}
+
+namespace {
+constexpr char kMagic[6] = {'H', 'T', 'N', 'S', 'B', '1'};
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T v;
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!in) throw IoError("truncated binary tensor file");
+  return v;
+}
+}  // namespace
+
+void write_binary_file(const std::string& path, const CooTensor& x) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot open " + path + " for writing");
+  out.write(kMagic, sizeof kMagic);
+  write_pod<std::uint64_t>(out, x.order());
+  for (index_t d : x.shape()) write_pod<std::uint32_t>(out, d);
+  write_pod<std::uint64_t>(out, x.nnz());
+  for (std::size_t n = 0; n < x.order(); ++n) {
+    const auto idx = x.indices(n);
+    out.write(reinterpret_cast<const char*>(idx.data()),
+              static_cast<std::streamsize>(idx.size() * sizeof(index_t)));
+  }
+  const auto vals = x.values();
+  out.write(reinterpret_cast<const char*>(vals.data()),
+            static_cast<std::streamsize>(vals.size() * sizeof(value_t)));
+  if (!out) throw IoError("write failed: " + path);
+}
+
+CooTensor read_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open " + path);
+  char magic[6];
+  in.read(magic, sizeof magic);
+  if (!in || std::string(magic, 6) != std::string(kMagic, 6)) {
+    throw IoError("bad magic in " + path);
+  }
+  const auto order = read_pod<std::uint64_t>(in);
+  if (order == 0 || order > 16) throw IoError("implausible tensor order");
+  Shape shape(order);
+  for (auto& d : shape) d = read_pod<std::uint32_t>(in);
+  const auto nnz = read_pod<std::uint64_t>(in);
+
+  CooTensor x(shape);
+  x.reserve(nnz);
+  std::vector<std::vector<index_t>> idx(order, std::vector<index_t>(nnz));
+  for (std::size_t n = 0; n < order; ++n) {
+    in.read(reinterpret_cast<char*>(idx[n].data()),
+            static_cast<std::streamsize>(nnz * sizeof(index_t)));
+    if (!in) throw IoError("truncated index data in " + path);
+  }
+  std::vector<value_t> vals(nnz);
+  in.read(reinterpret_cast<char*>(vals.data()),
+          static_cast<std::streamsize>(nnz * sizeof(value_t)));
+  if (!in) throw IoError("truncated value data in " + path);
+
+  std::vector<index_t> coord(order);
+  for (nnz_t t = 0; t < nnz; ++t) {
+    for (std::size_t n = 0; n < order; ++n) coord[n] = idx[n][t];
+    x.push_back(coord, vals[t]);
+  }
+  return x;
+}
+
+}  // namespace ht::tensor

@@ -1,0 +1,30 @@
+// Tensor file IO.
+//
+// Text format: FROSTT-style ".tns" — one nonzero per line, 1-based indices
+// followed by the value; '#' starts a comment. The shape is inferred from
+// the maximum index per mode unless given.
+//
+// Binary format: "HTNSB1" magic, little-endian u64 order/shape/nnz, then
+// per-mode u32 index arrays and f64 values. Used to cache generated tensors.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tensor/coo_tensor.hpp"
+
+namespace ht::tensor {
+
+/// Read a .tns text stream. If `shape` is empty it is inferred.
+CooTensor read_tns(std::istream& in, Shape shape = {});
+CooTensor read_tns_file(const std::string& path, Shape shape = {});
+
+/// Write .tns text (1-based indices).
+void write_tns(std::ostream& out, const CooTensor& x);
+void write_tns_file(const std::string& path, const CooTensor& x);
+
+/// Binary round-trip.
+void write_binary_file(const std::string& path, const CooTensor& x);
+CooTensor read_binary_file(const std::string& path);
+
+}  // namespace ht::tensor

@@ -1,0 +1,34 @@
+// Fundamental index types shared across the tensor subsystem.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ht::tensor {
+
+/// Index along one tensor mode. 32-bit indices cover all paper datasets
+/// (largest mode: 28M) while halving the memory traffic of the symbolic and
+/// numeric TTMc passes, which are latency/bandwidth bound.
+using index_t = std::uint32_t;
+
+/// Nonzero ordinal. Tensor nonzero counts can exceed 2^32 in principle.
+using nnz_t = std::uint64_t;
+
+/// Value type of tensor entries.
+using value_t = double;
+
+/// Shape of an N-mode tensor: size of each mode.
+using Shape = std::vector<index_t>;
+
+/// Product of all mode sizes except `skip` (pass modes() for none).
+inline std::uint64_t shape_product_except(const Shape& shape,
+                                          std::size_t skip) {
+  std::uint64_t p = 1;
+  for (std::size_t n = 0; n < shape.size(); ++n) {
+    if (n != skip) p *= shape[n];
+  }
+  return p;
+}
+
+}  // namespace ht::tensor

@@ -1,0 +1,19 @@
+// Environment-variable configuration helpers for the benchmark harnesses
+// (e.g. HT_SCALE to grow the synthetic datasets toward paper size).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ht {
+
+/// Read an integer env var; returns fallback when unset or unparsable.
+std::int64_t env_int(const char* name, std::int64_t fallback);
+
+/// Read a double env var; returns fallback when unset or unparsable.
+double env_double(const char* name, double fallback);
+
+/// Read a string env var; returns fallback when unset.
+std::string env_string(const char* name, const std::string& fallback);
+
+}  // namespace ht

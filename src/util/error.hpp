@@ -1,0 +1,59 @@
+// Error handling for HyperTensor.
+//
+// All precondition/invariant violations throw ht::Error via the HT_CHECK
+// family so callers can test failure paths (no abort()).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ht {
+
+/// Base exception for all HyperTensor errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown on malformed user input (bad file, bad shape, bad rank request).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an IO operation fails.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace ht
+
+/// Precondition/invariant check; throws ht::Error with location info.
+#define HT_CHECK(expr)                                                        \
+  do {                                                                        \
+    if (!(expr)) ::ht::detail::throw_check_failure(#expr, __FILE__, __LINE__, \
+                                                   std::string{});            \
+  } while (false)
+
+/// Check with a formatted message (streamed).
+#define HT_CHECK_MSG(expr, msg)                                       \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream ht_check_os_;                                \
+      ht_check_os_ << msg;                                            \
+      ::ht::detail::throw_check_failure(#expr, __FILE__, __LINE__,    \
+                                        ht_check_os_.str());          \
+    }                                                                 \
+  } while (false)

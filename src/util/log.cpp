@@ -1,0 +1,49 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace ht {
+
+namespace {
+
+LogLevel level_from_env() {
+  const char* v = std::getenv("HT_LOG_LEVEL");
+  if (v == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(v, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(v, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(v, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(v, "debug") == 0) return LogLevel::kDebug;
+  return LogLevel::kWarn;
+}
+
+std::atomic<int> g_level{static_cast<int>(level_from_env())};
+std::mutex g_out_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kDebug: return "DEBUG";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg) {
+  const std::lock_guard<std::mutex> lock(g_out_mutex);
+  std::fprintf(stderr, "[ht %s] %s\n", level_tag(level), msg.c_str());
+}
+}  // namespace detail
+
+}  // namespace ht

@@ -1,0 +1,34 @@
+// Minimal leveled logging. Controlled by HT_LOG_LEVEL env (error|warn|info|
+// debug) or programmatically; thread-safe line-at-a-time output.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ht {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Global log level; defaults from HT_LOG_LEVEL env var (default: warn).
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+}  // namespace ht
+
+#define HT_LOG(level, msg)                                         \
+  do {                                                             \
+    if (static_cast<int>(level) <= static_cast<int>(::ht::log_level())) { \
+      std::ostringstream ht_log_os_;                               \
+      ht_log_os_ << msg;                                           \
+      ::ht::detail::log_line(level, ht_log_os_.str());             \
+    }                                                              \
+  } while (false)
+
+#define HT_LOG_INFO(msg) HT_LOG(::ht::LogLevel::kInfo, msg)
+#define HT_LOG_WARN(msg) HT_LOG(::ht::LogLevel::kWarn, msg)
+#define HT_LOG_ERROR(msg) HT_LOG(::ht::LogLevel::kError, msg)
+#define HT_LOG_DEBUG(msg) HT_LOG(::ht::LogLevel::kDebug, msg)

@@ -1,0 +1,63 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ht {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::min() const { return n_ ? min_ : 0.0; }
+double RunningStats::max() const { return n_ ? max_ : 0.0; }
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+LoadSummary summarize_load(std::span<const double> values) {
+  LoadSummary s;
+  if (values.empty()) return s;
+  double sum = 0.0;
+  for (double v : values) {
+    s.max = std::max(s.max, v);
+    sum += v;
+  }
+  s.avg = sum / static_cast<double>(values.size());
+  return s;
+}
+
+LoadSummary summarize_load(std::span<const std::uint64_t> values) {
+  std::vector<double> d(values.begin(), values.end());
+  return summarize_load(std::span<const double>(d));
+}
+
+std::string human_count(double value) {
+  char buf[64];
+  const double a = std::abs(value);
+  if (a >= 1e7) {
+    std::snprintf(buf, sizeof buf, "%.0fM", value / 1e6);
+  } else if (a >= 1e4) {
+    std::snprintf(buf, sizeof buf, "%.0fK", value / 1e3);
+  } else if (a == std::floor(a)) {
+    std::snprintf(buf, sizeof buf, "%.0f", value);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f", value);
+  }
+  return buf;
+}
+
+}  // namespace ht

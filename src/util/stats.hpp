@@ -1,0 +1,49 @@
+// Small statistics helpers used by the instrumentation layer (Table III
+// reports max/avg of per-rank computation and communication loads).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ht {
+
+/// Streaming mean/min/max/stddev accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Max/avg summary of a per-rank load vector; imbalance = max/avg.
+struct LoadSummary {
+  double max = 0.0;
+  double avg = 0.0;
+
+  [[nodiscard]] double imbalance() const { return avg > 0 ? max / avg : 0.0; }
+};
+
+/// Summarize a span of per-rank values.
+LoadSummary summarize_load(std::span<const double> values);
+LoadSummary summarize_load(std::span<const std::uint64_t> values);
+
+/// Render a count the way the paper prints them: "543K", "20M", "1744K"...
+/// Values below 10'000 print exactly.
+std::string human_count(double value);
+
+}  // namespace ht

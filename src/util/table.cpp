@@ -1,0 +1,92 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace ht {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  HT_CHECK_MSG(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  HT_CHECK_MSG(row.size() == header_.size(),
+               "row arity " << row.size() << " != header arity "
+                            << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_separator() { rows_.emplace_back(); }
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto print_sep = [&] {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << '+' << std::string(width[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << "| ";
+      if (c == 0) {  // left-align label column
+        os << cell << std::string(width[c] - cell.size(), ' ');
+      } else {  // right-align data columns
+        os << std::string(width[c] - cell.size(), ' ') << cell;
+      }
+      os << ' ';
+    }
+    os << "|\n";
+  };
+
+  print_sep();
+  print_row(header_);
+  print_sep();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      print_sep();
+    } else {
+      print_row(row);
+    }
+  }
+  print_sep();
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t) {
+  return os << t.to_string();
+}
+
+std::string fmt_fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string fmt_time_s(double seconds) {
+  char buf[64];
+  if (seconds >= 100.0) {
+    std::snprintf(buf, sizeof buf, "%.1f", seconds);
+  } else if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.2f", seconds);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4f", seconds);
+  }
+  return buf;
+}
+
+}  // namespace ht

@@ -1,0 +1,43 @@
+// ASCII table printer used by the benchmark harnesses to render the paper's
+// tables (Table I..V) with aligned columns.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ht {
+
+/// Column-aligned text table. Cells are strings; numeric formatting is the
+/// caller's concern (see util/stats.hpp human_count and fmt helpers here).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Insert a horizontal separator before the next added row.
+  void add_separator();
+
+  /// Render with single-space-padded, right-aligned numeric-looking cells
+  /// (left-aligned first column).
+  [[nodiscard]] std::string to_string() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector = separator
+};
+
+/// Format a double with fixed precision.
+std::string fmt_fixed(double v, int digits = 1);
+
+/// Format a double in engineering style for timings, e.g. "12.2".
+std::string fmt_time_s(double seconds);
+
+}  // namespace ht

@@ -1,0 +1,55 @@
+// Wall-clock timers used by the HOOI drivers and benchmark harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace ht {
+
+/// Monotonic wall-clock stopwatch. Starts running on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates elapsed time across start()/stop() intervals; used for the
+/// per-step (TTMc / TRSVD / core) breakdowns of paper Table IV.
+class PhaseTimer {
+ public:
+  void start() { timer_.reset(); running_ = true; }
+
+  void stop() {
+    if (running_) {
+      total_ += timer_.seconds();
+      ++intervals_;
+      running_ = false;
+    }
+  }
+
+  [[nodiscard]] double total_seconds() const { return total_; }
+  [[nodiscard]] long intervals() const { return intervals_; }
+
+  void reset() { total_ = 0.0; intervals_ = 0; running_ = false; }
+
+ private:
+  WallTimer timer_;
+  double total_ = 0.0;
+  long intervals_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace ht

@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/hooi.hpp"
+#include "core/hosvd.hpp"
+#include "core/met_baseline.hpp"
+#include "core/trsvd.hpp"
+#include "la/blas.hpp"
+#include "tensor/dense_tensor.hpp"
+#include "tensor/generators.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using ht::core::HooiOptions;
+using ht::core::HooiResult;
+using ht::core::TuckerDecomposition;
+using ht::la::Matrix;
+using ht::tensor::CooTensor;
+using ht::tensor::DenseTensor;
+using ht::tensor::index_t;
+using ht::tensor::Shape;
+
+// Tensor with *exact* Tucker rank: random core times random orthonormal
+// factors, stored as COO over every position (small sizes). HOOI with
+// matching ranks must reach fit ~= 1.
+CooTensor exact_low_rank_tensor(const Shape& shape,
+                                const std::vector<index_t>& ranks,
+                                std::uint64_t seed) {
+  TuckerDecomposition t;
+  t.factors = ht::core::random_orthonormal_factors(
+      shape, std::span<const index_t>(ranks), seed);
+  t.core = DenseTensor(Shape(ranks.begin(), ranks.end()));
+  ht::Rng rng(seed ^ 0xc0ffee);
+  for (auto& v : t.core.flat()) v = rng.uniform(-1.0, 1.0);
+
+  const DenseTensor dense = t.reconstruct_dense();
+  CooTensor x(shape);
+  std::vector<index_t> idx(shape.size(), 0);
+  for (std::size_t off = 0; off < dense.size(); ++off) {
+    if (std::abs(dense.flat()[off]) > 1e-14) {
+      x.push_back(idx, dense.flat()[off]);
+    }
+    for (std::size_t n = shape.size(); n-- > 0;) {
+      if (++idx[n] < shape[n]) break;
+      idx[n] = 0;
+    }
+  }
+  return x;
+}
+
+HooiOptions basic_options(std::vector<index_t> ranks, int iters = 5) {
+  HooiOptions opt;
+  opt.ranks = std::move(ranks);
+  opt.max_iterations = iters;
+  return opt;
+}
+
+TEST(HooiTest, RecoversExactLowRankTensor) {
+  const CooTensor x = exact_low_rank_tensor({8, 9, 7}, {2, 3, 2}, 1);
+  const HooiResult r = ht::core::hooi(x, basic_options({2, 3, 2}, 8));
+  EXPECT_GT(r.final_fit(), 0.9999);
+}
+
+TEST(HooiTest, FourModeExactRecovery) {
+  const CooTensor x = exact_low_rank_tensor({5, 6, 4, 5}, {2, 2, 2, 2}, 2);
+  const HooiResult r = ht::core::hooi(x, basic_options({2, 2, 2, 2}, 8));
+  EXPECT_GT(r.final_fit(), 0.9999);
+}
+
+TEST(HooiTest, FitsAreNonDecreasing) {
+  CooTensor x = ht::tensor::random_zipf(Shape{40, 30, 20}, 1500,
+                                        {0.8, 0.5, 0.2}, 3);
+  ht::tensor::plant_low_rank_values(x, 4, 0.1, 4);
+  const HooiResult r = ht::core::hooi(x, basic_options({4, 4, 4}, 6));
+  for (std::size_t i = 1; i < r.fits.size(); ++i) {
+    EXPECT_GE(r.fits[i], r.fits[i - 1] - 1e-8) << "iteration " << i;
+  }
+  EXPECT_GT(r.final_fit(), 0.0);
+}
+
+TEST(HooiTest, ReportedFitMatchesExactFit) {
+  CooTensor x = ht::tensor::random_uniform(Shape{10, 11, 12}, 250, 5);
+  const HooiResult r = ht::core::hooi(x, basic_options({3, 3, 3}, 4));
+  const double exact = ht::core::fit_exact(x, r.decomposition);
+  EXPECT_NEAR(r.final_fit(), exact, 1e-8);
+}
+
+TEST(HooiTest, FactorsAreOrthonormal) {
+  CooTensor x = ht::tensor::random_uniform(Shape{25, 15, 20}, 600, 6);
+  const HooiResult r = ht::core::hooi(x, basic_options({4, 3, 5}, 3));
+  for (const auto& f : r.decomposition.factors) {
+    const Matrix g = ht::la::gemm_tn(f, f);
+    for (std::size_t i = 0; i < g.rows(); ++i) {
+      for (std::size_t j = 0; j < g.cols(); ++j) {
+        EXPECT_NEAR(g(i, j), i == j ? 1.0 : 0.0, 1e-8);
+      }
+    }
+  }
+}
+
+TEST(HooiTest, GramAndLanczosMethodsAgree) {
+  CooTensor x = ht::tensor::random_zipf(Shape{30, 30, 30}, 1200,
+                                        {0.6, 0.6, 0.6}, 7);
+  ht::tensor::plant_low_rank_values(x, 5, 0.05, 8);
+  HooiOptions lanczos = basic_options({4, 4, 4}, 4);
+  HooiOptions gram = basic_options({4, 4, 4}, 4);
+  gram.trsvd_method = ht::core::TrsvdMethod::kGram;
+  const HooiResult rl = ht::core::hooi(x, lanczos);
+  const HooiResult rg = ht::core::hooi(x, gram);
+  EXPECT_NEAR(rl.final_fit(), rg.final_fit(), 1e-5);
+}
+
+TEST(HooiTest, MetBaselineMatchesFusedHooi) {
+  CooTensor x = ht::tensor::random_zipf(Shape{20, 25, 15}, 800,
+                                        {0.5, 0.5, 0.5}, 9);
+  ht::tensor::plant_low_rank_values(x, 3, 0.1, 10);
+  const HooiOptions opt = basic_options({3, 3, 3}, 4);
+  const HooiResult fused = ht::core::hooi(x, opt);
+  const HooiResult met = ht::core::hooi_met_baseline(x, opt);
+  ASSERT_EQ(fused.fits.size(), met.fits.size());
+  for (std::size_t i = 0; i < fused.fits.size(); ++i) {
+    EXPECT_NEAR(fused.fits[i], met.fits[i], 1e-7) << "iteration " << i;
+  }
+}
+
+TEST(HooiTest, MetBaselineFourMode) {
+  const CooTensor x = exact_low_rank_tensor({4, 5, 4, 3}, {2, 2, 2, 2}, 11);
+  const HooiOptions opt = basic_options({2, 2, 2, 2}, 6);
+  const HooiResult met = ht::core::hooi_met_baseline(x, opt);
+  EXPECT_GT(met.final_fit(), 0.9999);
+}
+
+TEST(HooiTest, DeterministicForSeed) {
+  CooTensor x = ht::tensor::random_uniform(Shape{20, 20, 20}, 500, 12);
+  const HooiOptions opt = basic_options({3, 3, 3}, 3);
+  const HooiResult a = ht::core::hooi(x, opt);
+  const HooiResult b = ht::core::hooi(x, opt);
+  ASSERT_EQ(a.fits.size(), b.fits.size());
+  for (std::size_t i = 0; i < a.fits.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.fits[i], b.fits[i]);
+  }
+}
+
+TEST(HooiTest, ThreadCountDoesNotChangeResult) {
+  CooTensor x = ht::tensor::random_zipf(Shape{60, 40, 30}, 3000,
+                                        {0.9, 0.4, 0.1}, 13);
+  ht::tensor::plant_low_rank_values(x, 4, 0.1, 14);
+  HooiOptions one = basic_options({4, 4, 4}, 3);
+  one.num_threads = 1;
+  HooiOptions many = basic_options({4, 4, 4}, 3);
+  many.num_threads = 4;
+  const HooiResult r1 = ht::core::hooi(x, one);
+  const HooiResult r4 = ht::core::hooi(x, many);
+  for (std::size_t i = 0; i < r1.fits.size(); ++i) {
+    EXPECT_NEAR(r1.fits[i], r4.fits[i], 1e-9);
+  }
+}
+
+TEST(HooiTest, RandomizedRangeInitSpeedsConvergence) {
+  const CooTensor x = exact_low_rank_tensor({10, 9, 8}, {3, 2, 2}, 15);
+  HooiOptions opt = basic_options({3, 2, 2}, 1);
+  opt.init = ht::core::HooiInit::kRandomizedRange;
+  const HooiResult r = ht::core::hooi(x, opt);
+  // One sweep from a sketched subspace should capture nearly everything.
+  EXPECT_GT(r.final_fit(), 0.99);
+}
+
+TEST(HooiTest, ConvergedFlagSetWhenFitStalls) {
+  const CooTensor x = exact_low_rank_tensor({8, 8, 8}, {2, 2, 2}, 16);
+  HooiOptions opt = basic_options({2, 2, 2}, 50);
+  opt.fit_tolerance = 1e-9;
+  const HooiResult r = ht::core::hooi(x, opt);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.iterations, 50);
+}
+
+TEST(HooiTest, SymbolicReuseAcrossRankChoices) {
+  CooTensor x = ht::tensor::random_uniform(Shape{30, 30, 30}, 900, 17);
+  const ht::core::SymbolicTtmc sym = ht::core::SymbolicTtmc::build(x);
+  const HooiResult r2 = ht::core::hooi(x, basic_options({2, 2, 2}, 2), sym);
+  const HooiResult r5 = ht::core::hooi(x, basic_options({5, 5, 5}, 2), sym);
+  EXPECT_GE(r5.final_fit(), r2.final_fit() - 1e-9);  // more rank, better fit
+}
+
+TEST(HooiTest, TimersArePopulated) {
+  CooTensor x = ht::tensor::random_uniform(Shape{40, 40, 40}, 2000, 18);
+  const HooiResult r = ht::core::hooi(x, basic_options({4, 4, 4}, 2));
+  EXPECT_GT(r.timers.ttmc, 0.0);
+  EXPECT_GT(r.timers.trsvd, 0.0);
+  EXPECT_GE(r.timers.core, 0.0);
+  EXPECT_GT(r.timers.symbolic, 0.0);
+}
+
+TEST(HooiTest, ValidationRejectsBadInput) {
+  CooTensor x = ht::tensor::random_uniform(Shape{5, 5, 5}, 20, 19);
+  EXPECT_THROW(ht::core::hooi(x, basic_options({2, 2})),
+               ht::InvalidArgument);  // arity
+  EXPECT_THROW(ht::core::hooi(x, basic_options({2, 2, 9})),
+               ht::InvalidArgument);  // rank > dim
+  EXPECT_THROW(ht::core::hooi(x, basic_options({0, 2, 2})),
+               ht::InvalidArgument);  // zero rank
+  HooiOptions bad_iters = basic_options({2, 2, 2});
+  bad_iters.max_iterations = 0;
+  EXPECT_THROW(ht::core::hooi(x, bad_iters), ht::InvalidArgument);
+  CooTensor empty(Shape{5, 5, 5});
+  EXPECT_THROW(ht::core::hooi(empty, basic_options({2, 2, 2})),
+               ht::InvalidArgument);
+}
+
+// ------------------------------------------------------------ trsvd_factor
+
+TEST(TrsvdFactorTest, ScattersRowsToGlobalPositions) {
+  // Compact 3-row problem living on global rows {1, 4, 7} of dim 9.
+  ht::Rng rng(20);
+  Matrix y(3, 5);
+  for (auto& v : y.flat()) v = rng.uniform(-1, 1);
+  const std::vector<index_t> rows = {1, 4, 7};
+  const auto res = ht::core::trsvd_factor(y, rows, 9, 2);
+  EXPECT_EQ(res.factor.rows(), 9u);
+  EXPECT_EQ(res.factor.cols(), 2u);
+  for (index_t i : {0, 2, 3, 5, 6, 8}) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_DOUBLE_EQ(res.factor(i, j), 0.0) << "row " << i;
+    }
+  }
+  // compact_u mirrors the occupied rows.
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_DOUBLE_EQ(res.compact_u(r, j), res.factor(rows[r], j));
+    }
+  }
+}
+
+TEST(TrsvdFactorTest, CompletesWhenRankExceedsCompactRows) {
+  ht::Rng rng(21);
+  Matrix y(2, 6);  // only 2 compact rows but rank 4 requested
+  for (auto& v : y.flat()) v = rng.uniform(-1, 1);
+  const std::vector<index_t> rows = {0, 3};
+  const auto res = ht::core::trsvd_factor(y, rows, 10, 4);
+  const Matrix g = ht::la::gemm_tn(res.factor, res.factor);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(g(i, j), i == j ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(TrsvdFactorTest, MethodsAgreeOnWellConditionedProblem) {
+  ht::Rng rng(22);
+  Matrix y(40, 12);
+  for (auto& v : y.flat()) v = rng.uniform(-1, 1);
+  std::vector<index_t> rows(40);
+  for (index_t i = 0; i < 40; ++i) rows[i] = i;
+  const auto lz =
+      ht::core::trsvd_factor(y, rows, 40, 3, ht::core::TrsvdMethod::kLanczos);
+  const auto gr =
+      ht::core::trsvd_factor(y, rows, 40, 3, ht::core::TrsvdMethod::kGram);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(lz.sigma[j], gr.sigma[j], 1e-6);
+  }
+}
+
+TEST(TrsvdFactorTest, RejectsBadArguments) {
+  Matrix y(3, 4);
+  const std::vector<index_t> rows = {0, 1, 2};
+  EXPECT_THROW(ht::core::trsvd_factor(y, rows, 9, 0), ht::Error);
+  EXPECT_THROW(ht::core::trsvd_factor(y, rows, 2, 1), ht::Error);  // row 2 >= dim
+  const std::vector<index_t> short_rows = {0, 1};
+  EXPECT_THROW(ht::core::trsvd_factor(y, short_rows, 9, 1), ht::Error);
+}
+
+}  // namespace

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/symbolic.hpp"
+#include "tensor/generators.hpp"
+
+namespace {
+
+using ht::core::ModeSymbolic;
+using ht::core::SymbolicTtmc;
+using ht::tensor::CooTensor;
+using ht::tensor::index_t;
+using ht::tensor::nnz_t;
+using ht::tensor::Shape;
+
+TEST(SymbolicTest, UpdateListsPartitionNonzeros) {
+  const CooTensor x = ht::tensor::random_zipf(Shape{40, 30, 20}, 600,
+                                              {1.0, 0.5, 0.0}, 3);
+  const SymbolicTtmc sym = SymbolicTtmc::build(x);
+  ASSERT_EQ(sym.modes.size(), 3u);
+
+  for (std::size_t mode = 0; mode < 3; ++mode) {
+    const ModeSymbolic& m = sym.modes[mode];
+    // nnz_order is a permutation of all nonzeros.
+    std::vector<nnz_t> sorted(m.nnz_order);
+    std::sort(sorted.begin(), sorted.end());
+    ASSERT_EQ(sorted.size(), x.nnz());
+    for (nnz_t t = 0; t < x.nnz(); ++t) EXPECT_EQ(sorted[t], t);
+
+    // Every update list entry has the right mode index.
+    for (std::size_t r = 0; r < m.num_rows(); ++r) {
+      for (nnz_t e : m.update_list(r)) {
+        EXPECT_EQ(x.index(mode, e), m.rows[r]);
+      }
+      EXPECT_GT(m.update_list(r).size(), 0u);  // J_n rows are non-empty
+    }
+  }
+}
+
+TEST(SymbolicTest, RowsAreSortedAndUnique) {
+  const CooTensor x =
+      ht::tensor::random_uniform(Shape{100, 50}, 300, 5);
+  const SymbolicTtmc sym = SymbolicTtmc::build(x);
+  for (const auto& m : sym.modes) {
+    EXPECT_TRUE(std::is_sorted(m.rows.begin(), m.rows.end()));
+    EXPECT_TRUE(std::adjacent_find(m.rows.begin(), m.rows.end()) ==
+                m.rows.end());
+  }
+}
+
+TEST(SymbolicTest, EmptyRowsAreCompactedAway) {
+  CooTensor x(Shape{100, 100});
+  x.push_back(std::vector<index_t>{5, 7}, 1.0);
+  x.push_back(std::vector<index_t>{5, 9}, 2.0);
+  x.push_back(std::vector<index_t>{90, 7}, 3.0);
+  const ModeSymbolic m0 = ht::core::build_mode_symbolic(x, 0);
+  ASSERT_EQ(m0.num_rows(), 2u);
+  EXPECT_EQ(m0.rows[0], 5u);
+  EXPECT_EQ(m0.rows[1], 90u);
+  EXPECT_EQ(m0.update_list(0).size(), 2u);
+  EXPECT_EQ(m0.update_list(1).size(), 1u);
+}
+
+TEST(SymbolicTest, SliceHistogramAgrees) {
+  const CooTensor x = ht::tensor::random_zipf(Shape{64, 32, 16}, 900,
+                                              {1.2, 0.3, 0.0}, 9);
+  const auto hist = x.slice_nnz(0);
+  const ModeSymbolic m = ht::core::build_mode_symbolic(x, 0);
+  for (std::size_t r = 0; r < m.num_rows(); ++r) {
+    EXPECT_EQ(m.update_list(r).size(), hist[m.rows[r]]);
+  }
+}
+
+TEST(SymbolicTest, FourModeTensor) {
+  const CooTensor x = ht::tensor::random_uniform(Shape{10, 12, 14, 16}, 500, 11);
+  const SymbolicTtmc sym = SymbolicTtmc::build(x);
+  ASSERT_EQ(sym.modes.size(), 4u);
+  for (std::size_t mode = 0; mode < 4; ++mode) {
+    nnz_t total = 0;
+    for (std::size_t r = 0; r < sym.modes[mode].num_rows(); ++r) {
+      total += sym.modes[mode].update_list(r).size();
+    }
+    EXPECT_EQ(total, x.nnz());
+  }
+}
+
+TEST(SymbolicTest, SingleNonzero) {
+  CooTensor x(Shape{5, 5, 5});
+  x.push_back(std::vector<index_t>{1, 2, 3}, 4.0);
+  const SymbolicTtmc sym = SymbolicTtmc::build(x);
+  for (std::size_t mode = 0; mode < 3; ++mode) {
+    EXPECT_EQ(sym.modes[mode].num_rows(), 1u);
+    EXPECT_EQ(sym.modes[mode].update_list(0).size(), 1u);
+  }
+}
+
+TEST(SymbolicTest, InvalidModeThrows) {
+  CooTensor x(Shape{5, 5});
+  x.push_back(std::vector<index_t>{0, 0}, 1.0);
+  EXPECT_THROW(ht::core::build_mode_symbolic(x, 2), ht::Error);
+}
+
+}  // namespace

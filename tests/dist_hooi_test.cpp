@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/hooi.hpp"
+#include "dist/dist_hooi.hpp"
+#include "la/blas.hpp"
+#include "tensor/generators.hpp"
+
+namespace {
+
+using ht::core::HooiOptions;
+using ht::core::HooiResult;
+using ht::dist::DistHooiOptions;
+using ht::dist::DistHooiResult;
+using ht::dist::Grain;
+using ht::dist::Method;
+using ht::la::Matrix;
+using ht::tensor::CooTensor;
+using ht::tensor::index_t;
+using ht::tensor::Shape;
+
+CooTensor test_tensor(std::uint64_t seed = 3) {
+  CooTensor x = ht::tensor::random_zipf(Shape{50, 40, 30}, 1500,
+                                        {0.9, 0.5, 0.2}, seed);
+  ht::tensor::plant_low_rank_values(x, 4, 0.1, seed + 1);
+  return x;
+}
+
+// Shared-memory reference with the same seed/init as the distributed run.
+HooiResult reference_hooi(const CooTensor& x, const std::vector<index_t>& r,
+                          int iters, std::uint64_t seed) {
+  HooiOptions opt;
+  opt.ranks = r;
+  opt.max_iterations = iters;
+  opt.fit_tolerance = 0.0;  // run all iterations, like the dist default
+  opt.seed = seed;
+  return ht::core::hooi(x, opt);
+}
+
+DistHooiOptions dist_options(std::vector<index_t> r, Grain g, Method m, int p,
+                             int iters, std::uint64_t seed) {
+  DistHooiOptions opt;
+  opt.ranks = std::move(r);
+  opt.grain = g;
+  opt.method = m;
+  opt.num_ranks = p;
+  opt.max_iterations = iters;
+  opt.seed = seed;
+  return opt;
+}
+
+TEST(DistHooiTest, SingleRankMatchesSharedMemoryExactly) {
+  const CooTensor x = test_tensor();
+  const std::vector<index_t> r = {4, 4, 4};
+  const HooiResult shared = reference_hooi(x, r, 3, 42);
+  const DistHooiResult dist = ht::dist::dist_hooi(
+      x, dist_options(r, Grain::kFine, Method::kRandom, 1, 3, 42));
+  ASSERT_EQ(dist.fits.size(), shared.fits.size());
+  for (std::size_t i = 0; i < dist.fits.size(); ++i) {
+    EXPECT_NEAR(dist.fits[i], shared.fits[i], 1e-12) << "iteration " << i;
+  }
+}
+
+struct DistCase {
+  Grain grain;
+  Method method;
+  int ranks;
+};
+
+class DistVsShared : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(DistVsShared, FitsMatchSharedMemory) {
+  const auto [grain, method, p] = GetParam();
+  const CooTensor x = test_tensor();
+  const std::vector<index_t> r = {4, 4, 4};
+  const HooiResult shared = reference_hooi(x, r, 3, 42);
+  const DistHooiResult dist =
+      ht::dist::dist_hooi(x, dist_options(r, grain, method, p, 3, 42));
+  ASSERT_EQ(dist.fits.size(), shared.fits.size());
+  for (std::size_t i = 0; i < dist.fits.size(); ++i) {
+    EXPECT_NEAR(dist.fits[i], shared.fits[i], 1e-6)
+        << ht::dist::config_label(grain, method) << " p=" << p << " iter "
+        << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, DistVsShared,
+    ::testing::Values(DistCase{Grain::kFine, Method::kHypergraph, 2},
+                      DistCase{Grain::kFine, Method::kHypergraph, 4},
+                      DistCase{Grain::kFine, Method::kRandom, 4},
+                      DistCase{Grain::kFine, Method::kRandom, 7},
+                      DistCase{Grain::kCoarse, Method::kHypergraph, 4},
+                      DistCase{Grain::kCoarse, Method::kBlock, 4},
+                      DistCase{Grain::kCoarse, Method::kRandom, 3},
+                      DistCase{Grain::kCoarse, Method::kBlock, 8}));
+
+TEST(DistHooiTest, FourModeTensorAllConfigs) {
+  CooTensor x = ht::tensor::random_zipf(Shape{18, 22, 26, 14}, 800,
+                                        {0.4, 0.7, 0.9, 0.3}, 5);
+  ht::tensor::plant_low_rank_values(x, 3, 0.1, 6);
+  const std::vector<index_t> r = {3, 3, 3, 3};
+  const HooiResult shared = reference_hooi(x, r, 2, 11);
+  for (const auto grain : {Grain::kFine, Grain::kCoarse}) {
+    for (const auto method : {Method::kHypergraph, Method::kRandom}) {
+      const DistHooiResult dist =
+          ht::dist::dist_hooi(x, dist_options(r, grain, method, 3, 2, 11));
+      ASSERT_EQ(dist.fits.size(), shared.fits.size());
+      EXPECT_NEAR(dist.fits.back(), shared.fits.back(), 1e-6)
+          << ht::dist::config_label(grain, method);
+    }
+  }
+}
+
+TEST(DistHooiTest, AssembledFactorsAreOrthonormal) {
+  const CooTensor x = test_tensor();
+  const std::vector<index_t> r = {4, 3, 5};
+  const DistHooiResult dist = ht::dist::dist_hooi(
+      x, dist_options(r, Grain::kFine, Method::kHypergraph, 4, 3, 42));
+  for (const auto& f : dist.decomposition.factors) {
+    const Matrix g = ht::la::gemm_tn(f, f);
+    for (std::size_t i = 0; i < g.rows(); ++i) {
+      for (std::size_t j = 0; j < g.cols(); ++j) {
+        EXPECT_NEAR(g(i, j), i == j ? 1.0 : 0.0, 1e-6);
+      }
+    }
+  }
+}
+
+TEST(DistHooiTest, ReportedFitMatchesExactFit) {
+  const CooTensor x = test_tensor();
+  const std::vector<index_t> r = {4, 4, 4};
+  const DistHooiResult dist = ht::dist::dist_hooi(
+      x, dist_options(r, Grain::kCoarse, Method::kBlock, 3, 3, 42));
+  const double exact = ht::core::fit_exact(x, dist.decomposition);
+  EXPECT_NEAR(dist.fits.back(), exact, 1e-6);
+}
+
+TEST(DistHooiTest, StatsArePopulated) {
+  const CooTensor x = test_tensor();
+  const std::vector<index_t> r = {4, 4, 4};
+  const DistHooiResult dist = ht::dist::dist_hooi(
+      x, dist_options(r, Grain::kFine, Method::kRandom, 4, 2, 42));
+  ASSERT_EQ(dist.stats.modes(), 3u);
+  ASSERT_EQ(dist.stats.ranks(), 4u);
+  for (std::size_t n = 0; n < 3; ++n) {
+    std::uint64_t ttmc_total = 0;
+    for (std::size_t k = 0; k < 4; ++k) {
+      ttmc_total += dist.stats.at(n, k).w_ttmc;
+    }
+    // Fine grain: every nonzero processed exactly once per mode.
+    EXPECT_EQ(ttmc_total, x.nnz()) << "mode " << n;
+    // Multi-rank runs must communicate.
+    EXPECT_GT(dist.stats.comm_summary(n).avg, 0.0);
+  }
+  EXPECT_EQ(dist.label, "fine-rd");
+  EXPECT_GT(dist.seconds_per_iteration, 0.0);
+}
+
+TEST(DistHooiTest, FineGrainTtmcIsPerfectlyBalancedByConstruction) {
+  // Paper Table III: fine-grain W_TTMc is (near-)uniform across ranks.
+  const CooTensor x = test_tensor();
+  const std::vector<index_t> r = {4, 4, 4};
+  const DistHooiResult dist = ht::dist::dist_hooi(
+      x, dist_options(r, Grain::kFine, Method::kRandom, 4, 1, 42));
+  for (std::size_t n = 0; n < 3; ++n) {
+    const auto s = dist.stats.ttmc_summary(n);
+    EXPECT_LT(s.imbalance(), 1.05) << "mode " << n;
+  }
+}
+
+TEST(DistHooiTest, HypergraphPartitionCommunicatesLessThanRandom) {
+  // Paper's headline communication claim (fine-hp vs fine-rd).
+  CooTensor x = ht::tensor::random_zipf(Shape{80, 60, 40}, 4000,
+                                        {1.1, 0.7, 0.3}, 13);
+  ht::tensor::plant_low_rank_values(x, 4, 0.1, 14);
+  const std::vector<index_t> r = {4, 4, 4};
+  const DistHooiResult hp = ht::dist::dist_hooi(
+      x, dist_options(r, Grain::kFine, Method::kHypergraph, 4, 1, 42));
+  const DistHooiResult rd = ht::dist::dist_hooi(
+      x, dist_options(r, Grain::kFine, Method::kRandom, 4, 1, 42));
+  EXPECT_LT(hp.stats.total_comm_entries(), rd.stats.total_comm_entries());
+}
+
+TEST(DistHooiTest, EarlyStopOnFitTolerance) {
+  const CooTensor x = test_tensor();
+  DistHooiOptions opt =
+      dist_options({4, 4, 4}, Grain::kFine, Method::kRandom, 3, 25, 42);
+  opt.fit_tolerance = 1e-5;
+  const DistHooiResult dist = ht::dist::dist_hooi(x, opt);
+  EXPECT_LT(dist.iterations, 25);
+  EXPECT_EQ(dist.fits.size(), static_cast<std::size_t>(dist.iterations));
+}
+
+TEST(DistHooiTest, DeterministicAcrossRuns) {
+  const CooTensor x = test_tensor();
+  const auto opt =
+      dist_options({4, 4, 4}, Grain::kFine, Method::kHypergraph, 4, 2, 42);
+  const DistHooiResult a = ht::dist::dist_hooi(x, opt);
+  const DistHooiResult b = ht::dist::dist_hooi(x, opt);
+  ASSERT_EQ(a.fits.size(), b.fits.size());
+  for (std::size_t i = 0; i < a.fits.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.fits[i], b.fits[i]);
+  }
+}
+
+TEST(DistHooiTest, MoreRanksThanUsefulStillCorrect) {
+  // 12 ranks on a small tensor: some ranks may be nearly empty.
+  CooTensor x = ht::tensor::random_uniform(Shape{20, 18, 16}, 300, 15);
+  const std::vector<index_t> r = {3, 3, 3};
+  const HooiResult shared = reference_hooi(x, r, 2, 21);
+  const DistHooiResult dist = ht::dist::dist_hooi(
+      x, dist_options(r, Grain::kFine, Method::kRandom, 12, 2, 21));
+  EXPECT_NEAR(dist.fits.back(), shared.fits.back(), 1e-6);
+}
+
+TEST(DistHooiTest, InvalidOptionsThrow) {
+  const CooTensor x = test_tensor();
+  auto opt = dist_options({4, 4}, Grain::kFine, Method::kRandom, 2, 2, 1);
+  EXPECT_THROW(ht::dist::dist_hooi(x, opt), ht::Error);  // rank arity
+  auto opt2 = dist_options({4, 4, 99}, Grain::kFine, Method::kRandom, 2, 2, 1);
+  EXPECT_THROW(ht::dist::dist_hooi(x, opt2), ht::Error);  // rank too large
+  auto opt3 = dist_options({4, 4, 4}, Grain::kFine, Method::kRandom, 2, 0, 1);
+  EXPECT_THROW(ht::dist::dist_hooi(x, opt3), ht::Error);  // no iterations
+}
+
+TEST(DistHooiTest, PrebuiltPlansCanBeReused) {
+  const CooTensor x = test_tensor();
+  const std::vector<index_t> r = {4, 4, 4};
+  const auto opt =
+      dist_options(r, Grain::kCoarse, Method::kHypergraph, 3, 2, 42);
+  ht::dist::PlanOptions popt;
+  popt.grain = opt.grain;
+  popt.method = opt.method;
+  popt.num_ranks = opt.num_ranks;
+  popt.seed = opt.seed;
+  const auto gplan = ht::dist::build_global_plan(x, popt);
+  const auto rplans = ht::dist::build_rank_plans(x, gplan, r, opt.seed);
+  const DistHooiResult a = ht::dist::dist_hooi(x, opt, gplan, rplans);
+  const DistHooiResult b = ht::dist::dist_hooi(x, opt, gplan, rplans);
+  ASSERT_EQ(a.fits.size(), b.fits.size());
+  for (std::size_t i = 0; i < a.fits.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.fits[i], b.fits[i]);
+  }
+}
+
+TEST(DistHooiTest, HybridThreadsPerRankAgrees) {
+  const CooTensor x = test_tensor();
+  const std::vector<index_t> r = {4, 4, 4};
+  auto opt1 = dist_options(r, Grain::kFine, Method::kRandom, 2, 2, 42);
+  opt1.threads_per_rank = 1;
+  auto opt2 = dist_options(r, Grain::kFine, Method::kRandom, 2, 2, 42);
+  opt2.threads_per_rank = 4;
+  const DistHooiResult a = ht::dist::dist_hooi(x, opt1);
+  const DistHooiResult b = ht::dist::dist_hooi(x, opt2);
+  for (std::size_t i = 0; i < a.fits.size(); ++i) {
+    EXPECT_NEAR(a.fits[i], b.fits[i], 1e-9);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "dist/partition_plan.hpp"
+#include "tensor/generators.hpp"
+
+namespace {
+
+using ht::dist::build_global_plan;
+using ht::dist::build_rank_plans;
+using ht::dist::GlobalPlan;
+using ht::dist::Grain;
+using ht::dist::Method;
+using ht::dist::PlanOptions;
+using ht::dist::RankPlan;
+using ht::tensor::CooTensor;
+using ht::tensor::index_t;
+using ht::tensor::nnz_t;
+using ht::tensor::Shape;
+
+CooTensor test_tensor(std::uint64_t seed = 7) {
+  CooTensor x = ht::tensor::random_zipf(Shape{60, 45, 30}, 1200,
+                                        {1.0, 0.6, 0.2}, seed);
+  ht::tensor::plant_low_rank_values(x, 3, 0.1, seed + 1);
+  return x;
+}
+
+PlanOptions opts(Grain g, Method m, int p) {
+  PlanOptions o;
+  o.grain = g;
+  o.method = m;
+  o.num_ranks = p;
+  return o;
+}
+
+TEST(ConfigLabelTest, MatchesPaperNames) {
+  EXPECT_EQ(ht::dist::config_label(Grain::kFine, Method::kHypergraph),
+            "fine-hp");
+  EXPECT_EQ(ht::dist::config_label(Grain::kFine, Method::kRandom), "fine-rd");
+  EXPECT_EQ(ht::dist::config_label(Grain::kCoarse, Method::kHypergraph),
+            "coarse-hp");
+  EXPECT_EQ(ht::dist::config_label(Grain::kCoarse, Method::kBlock),
+            "coarse-bl");
+}
+
+class PlanConfigs
+    : public ::testing::TestWithParam<std::tuple<Grain, Method, int>> {};
+
+TEST_P(PlanConfigs, GlobalPlanIsWellFormed) {
+  const auto [grain, method, p] = GetParam();
+  const CooTensor x = test_tensor();
+  const GlobalPlan plan = build_global_plan(x, opts(grain, method, p));
+
+  EXPECT_EQ(plan.num_ranks, p);
+  ASSERT_EQ(plan.row_owner.size(), 3u);
+  for (std::size_t n = 0; n < 3; ++n) {
+    ASSERT_EQ(plan.row_owner[n].size(), x.dim(n));
+    for (int o : plan.row_owner[n]) {
+      EXPECT_GE(o, 0);
+      EXPECT_LT(o, p);
+    }
+  }
+  if (grain == Grain::kFine) {
+    ASSERT_EQ(plan.nnz_owner.size(), x.nnz());
+    for (int o : plan.nnz_owner) {
+      EXPECT_GE(o, 0);
+      EXPECT_LT(o, p);
+    }
+  }
+}
+
+TEST_P(PlanConfigs, RankPlansCoverTheTensor) {
+  const auto [grain, method, p] = GetParam();
+  const CooTensor x = test_tensor();
+  const GlobalPlan plan = build_global_plan(x, opts(grain, method, p));
+  const std::vector<index_t> ranks = {4, 4, 4};
+  const auto rplans = build_rank_plans(x, plan, ranks, 42);
+  ASSERT_EQ(rplans.size(), static_cast<std::size_t>(p));
+
+  // Fine grain: local nnz counts sum to nnz (disjoint). Coarse: >= nnz
+  // (replication), and each rank holds exactly the union of its slices.
+  nnz_t total = 0;
+  for (const auto& rp : rplans) total += rp.local.nnz();
+  if (grain == Grain::kFine) {
+    EXPECT_EQ(total, x.nnz());
+  } else {
+    EXPECT_GE(total, x.nnz());
+    EXPECT_LE(total, 3 * x.nnz());
+  }
+
+  // Every mode's owned rows are disjoint across ranks and cover all
+  // globally non-empty rows.
+  for (std::size_t n = 0; n < 3; ++n) {
+    std::set<index_t> seen;
+    std::size_t total_owned = 0;
+    for (const auto& rp : rplans) {
+      for (index_t g : rp.modes[n].owned_rows) {
+        EXPECT_TRUE(seen.insert(g).second) << "row owned twice";
+        EXPECT_EQ(plan.row_owner[n][g], rp.rank);
+      }
+      total_owned += rp.modes[n].owned_rows.size();
+    }
+    std::size_t non_empty = 0;
+    for (auto c : x.slice_nnz(n)) non_empty += (c > 0);
+    EXPECT_EQ(total_owned, non_empty);
+  }
+}
+
+TEST_P(PlanConfigs, LocalTensorsAreConsistentlyReindexed) {
+  const auto [grain, method, p] = GetParam();
+  const CooTensor x = test_tensor();
+  const GlobalPlan plan = build_global_plan(x, opts(grain, method, p));
+  const std::vector<index_t> ranks = {4, 4, 4};
+  const auto rplans = build_rank_plans(x, plan, ranks, 42);
+
+  double total_value = 0.0;
+  double x_value = 0.0;
+  for (nnz_t e = 0; e < x.nnz(); ++e) x_value += x.value(e);
+
+  for (const auto& rp : rplans) {
+    for (nnz_t e = 0; e < rp.local.nnz(); ++e) {
+      for (std::size_t n = 0; n < 3; ++n) {
+        const index_t local_id = rp.local.index(n, e);
+        ASSERT_LT(local_id, rp.modes[n].local_rows.size());
+      }
+    }
+    if (grain == Grain::kFine) {
+      for (nnz_t e = 0; e < rp.local.nnz(); ++e) {
+        total_value += rp.local.value(e);
+      }
+    }
+  }
+  if (grain == Grain::kFine) {
+    EXPECT_NEAR(total_value, x_value, 1e-9 * std::abs(x_value) + 1e-9);
+  }
+}
+
+TEST_P(PlanConfigs, CommunicationListsAreSymmetric) {
+  const auto [grain, method, p] = GetParam();
+  const CooTensor x = test_tensor();
+  const GlobalPlan plan = build_global_plan(x, opts(grain, method, p));
+  const std::vector<index_t> ranks = {4, 4, 4};
+  const auto rplans = build_rank_plans(x, plan, ranks, 42);
+
+  for (std::size_t n = 0; n < 3; ++n) {
+    // Sum of send list sizes == sum of matching recv list sizes, per pair.
+    for (int a = 0; a < p; ++a) {
+      for (const auto& send : rplans[a].modes[n].factor_send) {
+        std::size_t recv_size = 0;
+        for (const auto& recv : rplans[send.peer].modes[n].factor_recv) {
+          if (recv.peer == a) recv_size = recv.positions.size();
+        }
+        EXPECT_EQ(send.positions.size(), recv_size)
+            << "factor rows " << a << "->" << send.peer << " mode " << n;
+      }
+      for (const auto& send : rplans[a].modes[n].fold_send) {
+        std::size_t recv_size = 0;
+        for (const auto& recv : rplans[send.peer].modes[n].fold_recv) {
+          if (recv.peer == a) recv_size = recv.positions.size();
+        }
+        EXPECT_EQ(send.positions.size(), recv_size)
+            << "fold " << a << "->" << send.peer << " mode " << n;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, PlanConfigs,
+    ::testing::Values(
+        std::tuple{Grain::kFine, Method::kHypergraph, 4},
+        std::tuple{Grain::kFine, Method::kRandom, 4},
+        std::tuple{Grain::kFine, Method::kRandom, 7},
+        std::tuple{Grain::kCoarse, Method::kHypergraph, 4},
+        std::tuple{Grain::kCoarse, Method::kBlock, 4},
+        std::tuple{Grain::kCoarse, Method::kRandom, 3},
+        std::tuple{Grain::kFine, Method::kHypergraph, 1},
+        std::tuple{Grain::kCoarse, Method::kBlock, 1}));
+
+TEST(PlanTest, FineGrainAnchoringGivesOwnersLocalNonzeros) {
+  const CooTensor x = test_tensor();
+  const GlobalPlan plan =
+      build_global_plan(x, opts(Grain::kFine, Method::kRandom, 5));
+  const std::vector<index_t> ranks = {4, 4, 4};
+  const auto rplans = build_rank_plans(x, plan, ranks, 42);
+  // owned rows must appear among the rank's local rows (anchoring).
+  for (const auto& rp : rplans) {
+    for (std::size_t n = 0; n < 3; ++n) {
+      for (index_t g : rp.modes[n].owned_rows) {
+        const auto& lr = rp.modes[n].local_rows;
+        EXPECT_TRUE(std::binary_search(lr.begin(), lr.end(), g));
+      }
+    }
+  }
+}
+
+TEST(PlanTest, CoarseGrainOwnersHoldWholeSlices) {
+  const CooTensor x = test_tensor();
+  const GlobalPlan plan =
+      build_global_plan(x, opts(Grain::kCoarse, Method::kBlock, 4));
+  const std::vector<index_t> ranks = {4, 4, 4};
+  const auto rplans = build_rank_plans(x, plan, ranks, 42);
+
+  // For every nonzero and mode, the owner of that mode's slice must hold
+  // the nonzero locally: count local nonzeros per (rank, mode-0 row) and
+  // compare against the global histogram for owned rows.
+  const auto hist = x.slice_nnz(0);
+  for (const auto& rp : rplans) {
+    const auto& mp = rp.modes[0];
+    std::vector<nnz_t> local_hist(mp.local_rows.size(), 0);
+    for (nnz_t e = 0; e < rp.local.nnz(); ++e) {
+      ++local_hist[rp.local.index(0, e)];
+    }
+    for (index_t g : mp.owned_rows) {
+      const auto it =
+          std::lower_bound(mp.local_rows.begin(), mp.local_rows.end(), g);
+      const auto local_id = static_cast<std::size_t>(it - mp.local_rows.begin());
+      EXPECT_EQ(local_hist[local_id], hist[g]) << "slice " << g;
+    }
+  }
+}
+
+TEST(PlanTest, InvalidOptionsThrow) {
+  const CooTensor x = test_tensor();
+  EXPECT_THROW(build_global_plan(x, opts(Grain::kFine, Method::kRandom, 0)),
+               ht::Error);
+  CooTensor empty(Shape{5, 5, 5});
+  EXPECT_THROW(build_global_plan(empty, opts(Grain::kFine, Method::kRandom, 2)),
+               ht::Error);
+}
+
+TEST(PlanTest, FourModePlansWork) {
+  CooTensor x = ht::tensor::random_zipf(Shape{20, 25, 30, 15}, 900,
+                                        {0.5, 0.8, 1.0, 0.3}, 11);
+  const GlobalPlan plan =
+      build_global_plan(x, opts(Grain::kFine, Method::kHypergraph, 3));
+  const std::vector<index_t> ranks = {3, 3, 3, 3};
+  const auto rplans = build_rank_plans(x, plan, ranks, 42);
+  nnz_t total = 0;
+  for (const auto& rp : rplans) {
+    total += rp.local.nnz();
+    EXPECT_EQ(rp.modes.size(), 4u);
+    EXPECT_EQ(rp.initial_factors.size(), 4u);
+  }
+  EXPECT_EQ(total, x.nnz());
+}
+
+}  // namespace

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "la/lanczos.hpp"
+#include "la/qr.hpp"
+#include "la/linear_operator.hpp"
+#include "la/svd.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using ht::la::DenseOperator;
+using ht::la::Matrix;
+
+Matrix random_matrix(std::size_t m, std::size_t n, std::uint64_t seed) {
+  ht::Rng rng(seed);
+  Matrix a(m, n);
+  for (auto& v : a.flat()) v = rng.uniform(-1.0, 1.0);
+  return a;
+}
+
+// Matrix with prescribed singular-value decay for conditioning studies.
+Matrix matrix_with_spectrum(std::size_t m, std::size_t n,
+                            const std::vector<double>& sigma,
+                            std::uint64_t seed) {
+  Matrix u = random_matrix(m, sigma.size(), seed);
+  Matrix v = random_matrix(n, sigma.size(), seed + 1);
+  ht::la::orthonormalize_columns(u);
+  ht::la::orthonormalize_columns(v);
+  for (std::size_t j = 0; j < sigma.size(); ++j) {
+    for (std::size_t i = 0; i < m; ++i) u(i, j) *= sigma[j];
+  }
+  return ht::la::gemm_nt(u, v);
+}
+
+double orthonormality_error(const Matrix& q) {
+  const Matrix g = ht::la::gemm_tn(q, q);
+  double err = 0;
+  for (std::size_t i = 0; i < g.rows(); ++i) {
+    for (std::size_t j = 0; j < g.cols(); ++j) {
+      err = std::max(err, std::abs(g(i, j) - (i == j ? 1.0 : 0.0)));
+    }
+  }
+  return err;
+}
+
+struct LanczosCase {
+  int m, n, rank;
+};
+
+class LanczosVsJacobi : public ::testing::TestWithParam<LanczosCase> {};
+
+TEST_P(LanczosVsJacobi, MatchesDenseSvd) {
+  const auto [m, n, rank] = GetParam();
+  const Matrix a = random_matrix(m, n, 777 + m + n * 13 + rank * 101);
+  DenseOperator op(a);
+  const auto result = ht::la::lanczos_trsvd(op, rank);
+  const auto ref = ht::la::svd_jacobi(a);
+
+  ASSERT_EQ(result.sigma.size(), static_cast<std::size_t>(rank));
+  for (int i = 0; i < rank; ++i) {
+    EXPECT_NEAR(result.sigma[i], ref.s[i], 1e-7 * std::max(1.0, ref.s[0]))
+        << "sigma_" << i;
+  }
+  // Left vectors match the reference up to sign (when gaps are healthy we
+  // can compare column-by-column; random matrices have simple spectra).
+  for (int j = 0; j < rank; ++j) {
+    double dot = 0;
+    for (int i = 0; i < m; ++i) dot += result.u(i, j) * ref.u(i, j);
+    EXPECT_NEAR(std::abs(dot), 1.0, 1e-5) << "u_" << j;
+  }
+  EXPECT_LT(orthonormality_error(result.u), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, LanczosVsJacobi,
+    ::testing::Values(LanczosCase{50, 20, 1}, LanczosCase{50, 20, 5},
+                      LanczosCase{200, 30, 10}, LanczosCase{1000, 25, 8},
+                      LanczosCase{30, 100, 4}));
+
+TEST(LanczosTest, ClusteredRandomSpectraExactWithFullSteps) {
+  // Random rectangular matrices have tightly clustered (Marchenko–Pastur)
+  // spectra — the adversarial case for Lanczos. With max_steps = c the
+  // factorization is exact and must match the dense SVD tightly.
+  for (const auto& [m, c, rank] :
+       {std::tuple{500, 125, 5}, std::tuple{300, 100, 10},
+        std::tuple{64, 64, 6}}) {
+    const Matrix a = random_matrix(m, c, 4242 + m);
+    DenseOperator op(a);
+    ht::la::TrsvdOptions opt;
+    opt.max_steps = static_cast<std::size_t>(c);
+    const auto result = ht::la::lanczos_trsvd(op, rank, opt);
+    const auto ref = ht::la::svd_jacobi(a);
+    for (int i = 0; i < rank; ++i) {
+      EXPECT_NEAR(result.sigma[i], ref.s[i], 1e-7 * ref.s[0])
+          << "m=" << m << " sigma_" << i;
+    }
+  }
+}
+
+TEST(LanczosTest, ExactLowRankMatrixConvergesEarly) {
+  // Rank-3 matrix: Lanczos should nail it and report convergence.
+  const Matrix a = matrix_with_spectrum(300, 40, {5.0, 2.0, 1.0}, 9);
+  DenseOperator op(a);
+  const auto result = ht::la::lanczos_trsvd(op, 3);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.sigma[0], 5.0, 1e-8);
+  EXPECT_NEAR(result.sigma[1], 2.0, 1e-8);
+  EXPECT_NEAR(result.sigma[2], 1.0, 1e-8);
+}
+
+TEST(LanczosTest, RequestingBeyondNumericalRankYieldsZeros) {
+  const Matrix a = matrix_with_spectrum(100, 30, {4.0, 3.0}, 10);
+  DenseOperator op(a);
+  const auto result = ht::la::lanczos_trsvd(op, 5);
+  EXPECT_NEAR(result.sigma[0], 4.0, 1e-7);
+  EXPECT_NEAR(result.sigma[1], 3.0, 1e-7);
+  for (std::size_t i = 2; i < 5; ++i) EXPECT_NEAR(result.sigma[i], 0.0, 1e-6);
+}
+
+TEST(LanczosTest, ClusteredSpectrumStillCapturesSubspace) {
+  // Two nearly equal leading singular values: individual vectors may mix,
+  // but the spanned subspace and values must be right.
+  const Matrix a =
+      matrix_with_spectrum(150, 30, {3.0, 3.0 - 1e-9, 1.0, 0.5}, 11);
+  DenseOperator op(a);
+  const auto result = ht::la::lanczos_trsvd(op, 2);
+  EXPECT_NEAR(result.sigma[0], 3.0, 1e-6);
+  EXPECT_NEAR(result.sigma[1], 3.0, 1e-6);
+  // Projector onto the Lanczos pair must match projector from dense SVD.
+  const auto ref = ht::la::svd_jacobi(a);
+  Matrix uref(150, 2);
+  for (std::size_t i = 0; i < 150; ++i) {
+    uref(i, 0) = ref.u(i, 0);
+    uref(i, 1) = ref.u(i, 1);
+  }
+  const Matrix overlap = ht::la::gemm_tn(result.u, uref);  // 2x2
+  // |det(overlap)| == 1 iff subspaces coincide.
+  const double det =
+      overlap(0, 0) * overlap(1, 1) - overlap(0, 1) * overlap(1, 0);
+  EXPECT_NEAR(std::abs(det), 1.0, 1e-5);
+}
+
+TEST(LanczosTest, InvalidRankThrows) {
+  const Matrix a = random_matrix(10, 5, 12);
+  DenseOperator op(a);
+  EXPECT_THROW(ht::la::lanczos_trsvd(op, 0), ht::Error);
+  EXPECT_THROW(ht::la::lanczos_trsvd(op, 6), ht::Error);
+}
+
+TEST(LanczosTest, DeterministicAcrossRuns) {
+  const Matrix a = random_matrix(80, 20, 13);
+  DenseOperator op1(a), op2(a);
+  const auto r1 = ht::la::lanczos_trsvd(op1, 4);
+  const auto r2 = ht::la::lanczos_trsvd(op2, 4);
+  ASSERT_EQ(r1.sigma.size(), r2.sigma.size());
+  for (std::size_t i = 0; i < r1.sigma.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r1.sigma[i], r2.sigma[i]);
+  }
+  EXPECT_TRUE(r1.u.approx_equal(r2.u, 0.0));
+}
+
+TEST(GramTrsvdTest, MatchesLanczos) {
+  const Matrix a = random_matrix(120, 40, 14);
+  DenseOperator op(a);
+  const auto lz = ht::la::lanczos_trsvd(op, 6);
+  const auto gr = ht::la::gram_trsvd(a, 6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(lz.sigma[i], gr.sigma[i], 1e-6);
+  }
+  for (std::size_t j = 0; j < 6; ++j) {
+    double dot = 0;
+    for (std::size_t i = 0; i < 120; ++i) dot += lz.u(i, j) * gr.u(i, j);
+    EXPECT_NEAR(std::abs(dot), 1.0, 1e-5);
+  }
+}
+
+TEST(GramTrsvdTest, InvalidRankThrows) {
+  const Matrix a = random_matrix(10, 5, 15);
+  EXPECT_THROW(ht::la::gram_trsvd(a, 0), ht::Error);
+  EXPECT_THROW(ht::la::gram_trsvd(a, 6), ht::Error);
+}
+
+TEST(LanczosTest, TallThinHooiShapeRegime) {
+  // The HOOI regime: m huge, c = prod(ranks) small, rank modest.
+  const Matrix a = matrix_with_spectrum(
+      5000, 100, {10, 9, 8, 7, 6, 5, 4, 3, 2, 1}, 16);
+  DenseOperator op(a);
+  const auto result = ht::la::lanczos_trsvd(op, 10);
+  EXPECT_TRUE(result.converged);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_NEAR(result.sigma[i], 10.0 - i, 1e-7);
+  }
+  EXPECT_LT(orthonormality_error(result.u), 1e-7);
+}
+
+}  // namespace

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "la/blas.hpp"
+#include "la/matrix.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using ht::la::Matrix;
+
+Matrix random_matrix(std::size_t m, std::size_t n, std::uint64_t seed) {
+  ht::Rng rng(seed);
+  Matrix a(m, n);
+  for (auto& v : a.flat()) v = rng.uniform(-1.0, 1.0);
+  return a;
+}
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  m(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(MatrixTest, RowSpanIsContiguousView) {
+  Matrix m(2, 3);
+  auto r = m.row(1);
+  r[0] = 1.0;
+  r[2] = 3.0;
+  EXPECT_DOUBLE_EQ(m(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 2), 3.0);
+  EXPECT_EQ(r.size(), 3u);
+}
+
+TEST(MatrixTest, FromFlatDataValidatesSize) {
+  EXPECT_NO_THROW(Matrix(2, 2, {1, 2, 3, 4}));
+  EXPECT_THROW(Matrix(2, 2, {1, 2, 3}), ht::Error);
+}
+
+TEST(MatrixTest, TransposedSwapsIndices) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(t(j, i), m(i, j));
+  }
+}
+
+TEST(MatrixTest, IdentityAndFrobenius) {
+  Matrix id = Matrix::identity(4);
+  EXPECT_DOUBLE_EQ(id.frobenius_norm(), 2.0);
+  EXPECT_DOUBLE_EQ(id(2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(id(2, 1), 0.0);
+}
+
+TEST(MatrixTest, ApproxEqual) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  Matrix b(2, 2, {1, 2, 3, 4 + 1e-12});
+  EXPECT_TRUE(a.approx_equal(b, 1e-9));
+  EXPECT_FALSE(a.approx_equal(b, 1e-15));
+  EXPECT_FALSE(a.approx_equal(Matrix(2, 3), 1.0));
+}
+
+TEST(BlasTest, DotAxpyNrm2Scal) {
+  std::vector<double> x = {1, 2, 3};
+  std::vector<double> y = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(ht::la::dot(x, y), 32.0);
+  ht::la::axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[2], 12.0);
+  EXPECT_DOUBLE_EQ(ht::la::nrm2(x), std::sqrt(14.0));
+  ht::la::scal(0.5, x);
+  EXPECT_DOUBLE_EQ(x[1], 1.0);
+}
+
+TEST(BlasTest, GemvMatchesManual) {
+  Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  std::vector<double> x = {1, 1, 1}, y(2);
+  ht::la::gemv(a, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(BlasTest, GemvTransposeMatchesManual) {
+  Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  std::vector<double> x = {1, 2}, y(3);
+  ht::la::gemv_t(a, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 9.0);
+  EXPECT_DOUBLE_EQ(y[1], 12.0);
+  EXPECT_DOUBLE_EQ(y[2], 15.0);
+}
+
+TEST(BlasTest, GemmAgainstNaive) {
+  const Matrix a = random_matrix(17, 9, 1);
+  const Matrix b = random_matrix(9, 13, 2);
+  const Matrix c = ht::la::gemm(a, b);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double s = 0;
+      for (std::size_t k = 0; k < a.cols(); ++k) s += a(i, k) * b(k, j);
+      EXPECT_NEAR(c(i, j), s, 1e-12);
+    }
+  }
+}
+
+TEST(BlasTest, GemmTnEqualsTransposedGemm) {
+  const Matrix a = random_matrix(20, 5, 3);
+  const Matrix b = random_matrix(20, 7, 4);
+  const Matrix c1 = ht::la::gemm_tn(a, b);
+  const Matrix c2 = ht::la::gemm(a.transposed(), b);
+  EXPECT_TRUE(c1.approx_equal(c2, 1e-12));
+}
+
+TEST(BlasTest, GemmNtEqualsGemmWithTranspose) {
+  const Matrix a = random_matrix(6, 8, 5);
+  const Matrix b = random_matrix(10, 8, 6);
+  const Matrix c1 = ht::la::gemm_nt(a, b);
+  const Matrix c2 = ht::la::gemm(a, b.transposed());
+  EXPECT_TRUE(c1.approx_equal(c2, 1e-12));
+}
+
+TEST(BlasTest, ShapeMismatchThrows) {
+  Matrix a(2, 3), b(4, 2);
+  EXPECT_THROW(ht::la::gemm(a, b), ht::Error);
+  std::vector<double> x(5), y(2);
+  EXPECT_THROW(ht::la::gemv(a, x, y), ht::Error);
+}
+
+TEST(BlasTest, ThreadedAndSerialPathsAgree) {
+  // Force the parallel path with a tall matrix and compare to serial.
+  const Matrix a = random_matrix(1000, 16, 7);
+  const Matrix b = random_matrix(16, 12, 8);
+  ht::la::set_blas_threading(true);
+  const Matrix ct = ht::la::gemm(a, b);
+  ht::la::set_blas_threading(false);
+  const Matrix cs = ht::la::gemm(a, b);
+  ht::la::set_blas_threading(true);
+  EXPECT_TRUE(ct.approx_equal(cs, 1e-11));
+
+  std::vector<double> x(1000), yt(16), ys(16);
+  ht::Rng rng(9);
+  for (auto& v : x) v = rng.uniform();
+  ht::la::set_blas_threading(true);
+  ht::la::gemv_t(a, x, yt);
+  ht::la::set_blas_threading(false);
+  ht::la::gemv_t(a, x, ys);
+  ht::la::set_blas_threading(true);
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_NEAR(yt[i], ys[i], 1e-9);
+}
+
+}  // namespace

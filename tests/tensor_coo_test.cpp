@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tensor/coo_tensor.hpp"
+
+namespace {
+
+using ht::tensor::CooTensor;
+using ht::tensor::index_t;
+using ht::tensor::nnz_t;
+using ht::tensor::Shape;
+
+CooTensor small3() {
+  CooTensor x(Shape{3, 4, 5});
+  x.push_back(std::vector<index_t>{0, 1, 2}, 1.5);
+  x.push_back(std::vector<index_t>{2, 3, 4}, -2.0);
+  x.push_back(std::vector<index_t>{0, 0, 0}, 3.0);
+  return x;
+}
+
+TEST(CooTensorTest, ConstructionBasics) {
+  const CooTensor x = small3();
+  EXPECT_EQ(x.order(), 3u);
+  EXPECT_EQ(x.nnz(), 3u);
+  EXPECT_EQ(x.dim(1), 4u);
+  EXPECT_FALSE(x.empty());
+  EXPECT_EQ(x.summary(), "3-mode 3x4x5, 3 nnz");
+}
+
+TEST(CooTensorTest, RejectsBadShape) {
+  EXPECT_THROW(CooTensor(Shape{}), ht::Error);
+  EXPECT_THROW(CooTensor(Shape{3, 0, 5}), ht::Error);
+}
+
+TEST(CooTensorTest, PushBackValidatesBounds) {
+  CooTensor x(Shape{2, 2});
+  EXPECT_THROW(x.push_back(std::vector<index_t>{2, 0}, 1.0), ht::Error);
+  EXPECT_THROW(x.push_back(std::vector<index_t>{0}, 1.0), ht::Error);
+  EXPECT_NO_THROW(x.push_back(std::vector<index_t>{1, 1}, 1.0));
+}
+
+TEST(CooTensorTest, SortLexicographic) {
+  CooTensor x = small3();
+  x.sort_lexicographic();
+  EXPECT_EQ(x.index(0, 0), 0u);
+  EXPECT_EQ(x.index(1, 0), 0u);
+  EXPECT_EQ(x.index(2, 0), 0u);
+  EXPECT_DOUBLE_EQ(x.value(0), 3.0);
+  EXPECT_EQ(x.index(0, 2), 2u);
+  EXPECT_DOUBLE_EQ(x.value(2), -2.0);
+}
+
+TEST(CooTensorTest, SumDuplicatesMerges) {
+  CooTensor x(Shape{2, 2});
+  x.push_back(std::vector<index_t>{0, 1}, 1.0);
+  x.push_back(std::vector<index_t>{1, 0}, 2.0);
+  x.push_back(std::vector<index_t>{0, 1}, 4.0);
+  x.push_back(std::vector<index_t>{0, 1}, -1.0);
+  x.sum_duplicates();
+  EXPECT_EQ(x.nnz(), 2u);
+  // sorted: (0,1)=4, (1,0)=2
+  EXPECT_DOUBLE_EQ(x.value(0), 4.0);
+  EXPECT_DOUBLE_EQ(x.value(1), 2.0);
+}
+
+TEST(CooTensorTest, SumDuplicatesOnEmptyIsNoop) {
+  CooTensor x(Shape{2, 2});
+  EXPECT_NO_THROW(x.sum_duplicates());
+  EXPECT_EQ(x.nnz(), 0u);
+}
+
+TEST(CooTensorTest, Norm2Squared) {
+  const CooTensor x = small3();
+  EXPECT_DOUBLE_EQ(x.norm2_squared(), 1.5 * 1.5 + 4.0 + 9.0);
+}
+
+TEST(CooTensorTest, SliceNnzHistogram) {
+  const CooTensor x = small3();
+  const auto h0 = x.slice_nnz(0);
+  ASSERT_EQ(h0.size(), 3u);
+  EXPECT_EQ(h0[0], 2u);
+  EXPECT_EQ(h0[1], 0u);
+  EXPECT_EQ(h0[2], 1u);
+  const auto h2 = x.slice_nnz(2);
+  EXPECT_EQ(h2[0], 1u);
+  EXPECT_EQ(h2[4], 1u);
+}
+
+TEST(CooTensorTest, SelectSubset) {
+  const CooTensor x = small3();
+  const std::vector<nnz_t> pick = {2, 0};
+  const CooTensor y = x.select(pick);
+  EXPECT_EQ(y.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(y.value(0), 3.0);
+  EXPECT_DOUBLE_EQ(y.value(1), 1.5);
+  EXPECT_EQ(y.shape(), x.shape());
+}
+
+TEST(CooTensorTest, SelectRejectsBadOrdinal) {
+  const CooTensor x = small3();
+  const std::vector<nnz_t> pick = {7};
+  EXPECT_THROW(x.select(pick), ht::Error);
+}
+
+TEST(CooTensorTest, ValidatePassesOnGoodTensor) {
+  EXPECT_NO_THROW(small3().validate());
+}
+
+TEST(CooTensorTest, SortIsStableUnderValues) {
+  // Two entries at the same coordinate keep both until sum_duplicates.
+  CooTensor x(Shape{2, 2});
+  x.push_back(std::vector<index_t>{1, 1}, 1.0);
+  x.push_back(std::vector<index_t>{1, 1}, 2.0);
+  x.sort_lexicographic();
+  EXPECT_EQ(x.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(x.value(0) + x.value(1), 3.0);
+}
+
+TEST(CooTensorTest, ReserveDoesNotChangeContents) {
+  CooTensor x = small3();
+  x.reserve(1000);
+  EXPECT_EQ(x.nnz(), 3u);
+}
+
+TEST(CooTensorTest, OneModeTensorWorks) {
+  CooTensor x(Shape{10});
+  x.push_back(std::vector<index_t>{3}, 1.0);
+  x.push_back(std::vector<index_t>{9}, 2.0);
+  EXPECT_EQ(x.order(), 1u);
+  EXPECT_EQ(x.nnz(), 2u);
+  EXPECT_EQ(x.slice_nnz(0)[3], 1u);
+}
+
+}  // namespace

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "la/blas.hpp"
+#include "tensor/dense_tensor.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using ht::la::Matrix;
+using ht::tensor::CooTensor;
+using ht::tensor::DenseTensor;
+using ht::tensor::index_t;
+using ht::tensor::Shape;
+
+DenseTensor random_dense(const Shape& shape, std::uint64_t seed) {
+  DenseTensor t(shape);
+  ht::Rng rng(seed);
+  for (auto& v : t.flat()) v = rng.uniform(-1.0, 1.0);
+  return t;
+}
+
+Matrix random_matrix(std::size_t m, std::size_t n, std::uint64_t seed) {
+  ht::Rng rng(seed);
+  Matrix a(m, n);
+  for (auto& v : a.flat()) v = rng.uniform(-1.0, 1.0);
+  return a;
+}
+
+TEST(DenseTensorTest, OffsetLastModeFastest) {
+  DenseTensor t(Shape{2, 3, 4});
+  EXPECT_EQ(t.offset(std::vector<index_t>{0, 0, 0}), 0u);
+  EXPECT_EQ(t.offset(std::vector<index_t>{0, 0, 1}), 1u);
+  EXPECT_EQ(t.offset(std::vector<index_t>{0, 1, 0}), 4u);
+  EXPECT_EQ(t.offset(std::vector<index_t>{1, 0, 0}), 12u);
+  EXPECT_EQ(t.offset(std::vector<index_t>{1, 2, 3}), 23u);
+}
+
+TEST(DenseTensorTest, AtReadsAndWrites) {
+  DenseTensor t(Shape{2, 2});
+  t.at(std::vector<index_t>{1, 0}) = 7.0;
+  EXPECT_DOUBLE_EQ(t.flat()[2], 7.0);
+}
+
+class MatricizeShapes
+    : public ::testing::TestWithParam<std::pair<Shape, std::size_t>> {};
+
+TEST_P(MatricizeShapes, RoundTripsThroughDematricize) {
+  const auto& [shape, mode] = GetParam();
+  const DenseTensor t = random_dense(shape, 99);
+  const Matrix m = t.matricize(mode);
+  EXPECT_EQ(m.rows(), shape[mode]);
+  EXPECT_EQ(m.rows() * m.cols(), t.size());
+  const DenseTensor back = DenseTensor::dematricize(m, shape, mode);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back.flat()[i], t.flat()[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatricizeShapes,
+    ::testing::Values(std::pair{Shape{4, 5, 6}, std::size_t{0}},
+                      std::pair{Shape{4, 5, 6}, std::size_t{1}},
+                      std::pair{Shape{4, 5, 6}, std::size_t{2}},
+                      std::pair{Shape{3, 2, 4, 5}, std::size_t{0}},
+                      std::pair{Shape{3, 2, 4, 5}, std::size_t{2}},
+                      std::pair{Shape{3, 2, 4, 5}, std::size_t{3}},
+                      std::pair{Shape{7}, std::size_t{0}},
+                      std::pair{Shape{2, 9}, std::size_t{1}}));
+
+TEST(DenseTensorTest, MatricizeKnownEntries) {
+  // shape {2,2,2}: element (i,j,k) -> X(0)(i, j*2+k) in our convention.
+  DenseTensor t(Shape{2, 2, 2});
+  t.at(std::vector<index_t>{1, 0, 1}) = 5.0;
+  t.at(std::vector<index_t>{0, 1, 0}) = 3.0;
+  const Matrix m0 = t.matricize(0);
+  EXPECT_DOUBLE_EQ(m0(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(m0(0, 2), 3.0);
+  // mode-1 matricization: (i,j,k) -> X(1)(j, i*2+k)
+  const Matrix m1 = t.matricize(1);
+  EXPECT_DOUBLE_EQ(m1(0, 3), 5.0);
+  EXPECT_DOUBLE_EQ(m1(1, 0), 3.0);
+}
+
+TEST(DenseTensorTest, FromCooSumsDuplicates) {
+  CooTensor x(Shape{2, 2});
+  x.push_back(std::vector<index_t>{0, 1}, 1.0);
+  x.push_back(std::vector<index_t>{0, 1}, 2.0);
+  const DenseTensor t = DenseTensor::from_coo(x);
+  EXPECT_DOUBLE_EQ(t.at(std::vector<index_t>{0, 1}), 3.0);
+  EXPECT_DOUBLE_EQ(t.at(std::vector<index_t>{1, 0}), 0.0);
+}
+
+TEST(DenseTtmTest, MatchesMatricizedGemm) {
+  // Mode-n TTM is U^T X(n) in matricized form: check via matricization.
+  const DenseTensor x = random_dense(Shape{4, 5, 6}, 1);
+  for (std::size_t mode = 0; mode < 3; ++mode) {
+    const Matrix u = random_matrix(x.shape()[mode], 3, 50 + mode);
+    const DenseTensor y = ht::tensor::dense_ttm(x, mode, u);
+    EXPECT_EQ(y.shape()[mode], 3u);
+    const Matrix yn = y.matricize(mode);
+    const Matrix expected = ht::la::gemm_tn(u, x.matricize(mode));
+    EXPECT_TRUE(yn.approx_equal(expected, 1e-10));
+  }
+}
+
+TEST(DenseTtmTest, IdentityIsNoop) {
+  const DenseTensor x = random_dense(Shape{3, 4, 2}, 2);
+  const Matrix id = Matrix::identity(4);
+  const DenseTensor y = ht::tensor::dense_ttm(x, 1, id);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(y.flat()[i], x.flat()[i], 1e-12);
+  }
+}
+
+TEST(DenseTtmTest, TtmcExceptSkipsRequestedMode) {
+  const DenseTensor x = random_dense(Shape{4, 5, 6}, 3);
+  std::vector<Matrix> factors;
+  factors.push_back(random_matrix(4, 2, 60));
+  factors.push_back(random_matrix(5, 3, 61));
+  factors.push_back(random_matrix(6, 2, 62));
+  const DenseTensor y = ht::tensor::dense_ttmc_except(x, 1, factors);
+  EXPECT_EQ(y.shape()[0], 2u);
+  EXPECT_EQ(y.shape()[1], 5u);  // untouched
+  EXPECT_EQ(y.shape()[2], 2u);
+}
+
+TEST(DenseTtmTest, ModeOrderDoesNotMatter) {
+  const DenseTensor x = random_dense(Shape{3, 4, 5}, 4);
+  const Matrix u0 = random_matrix(3, 2, 70);
+  const Matrix u2 = random_matrix(5, 2, 71);
+  const DenseTensor a = ht::tensor::dense_ttm(ht::tensor::dense_ttm(x, 0, u0), 2, u2);
+  const DenseTensor b = ht::tensor::dense_ttm(ht::tensor::dense_ttm(x, 2, u2), 0, u0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a.flat()[i], b.flat()[i], 1e-11);
+  }
+}
+
+TEST(DenseTtmTest, ShapeMismatchThrows) {
+  const DenseTensor x = random_dense(Shape{3, 4}, 5);
+  const Matrix u = random_matrix(5, 2, 80);
+  EXPECT_THROW(ht::tensor::dense_ttm(x, 0, u), ht::Error);
+  EXPECT_THROW(ht::tensor::dense_ttm(x, 2, u), ht::Error);
+}
+
+}  // namespace

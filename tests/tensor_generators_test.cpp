@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/coo_tensor.hpp"
+#include "tensor/generators.hpp"
+
+namespace {
+
+using ht::tensor::CooTensor;
+using ht::tensor::nnz_t;
+using ht::tensor::Shape;
+
+TEST(GeneratorsTest, UniformReachesTargetNnz) {
+  const CooTensor x = ht::tensor::random_uniform(Shape{100, 100, 100}, 5000, 1);
+  EXPECT_EQ(x.nnz(), 5000u);
+  EXPECT_NO_THROW(x.validate());
+}
+
+TEST(GeneratorsTest, UniformIsDeterministic) {
+  const CooTensor a = ht::tensor::random_uniform(Shape{50, 60}, 800, 42);
+  const CooTensor b = ht::tensor::random_uniform(Shape{50, 60}, 800, 42);
+  ASSERT_EQ(a.nnz(), b.nnz());
+  for (nnz_t t = 0; t < a.nnz(); ++t) {
+    EXPECT_EQ(a.index(0, t), b.index(0, t));
+    EXPECT_EQ(a.index(1, t), b.index(1, t));
+    EXPECT_DOUBLE_EQ(a.value(t), b.value(t));
+  }
+}
+
+TEST(GeneratorsTest, DifferentSeedsDiffer) {
+  const CooTensor a = ht::tensor::random_uniform(Shape{50, 60}, 800, 1);
+  const CooTensor b = ht::tensor::random_uniform(Shape{50, 60}, 800, 2);
+  nnz_t same = 0;
+  const nnz_t n = std::min(a.nnz(), b.nnz());
+  for (nnz_t t = 0; t < n; ++t) {
+    same += (a.index(0, t) == b.index(0, t) && a.index(1, t) == b.index(1, t));
+  }
+  EXPECT_LT(same, n / 2);
+}
+
+TEST(GeneratorsTest, NoDuplicateCoordinates) {
+  CooTensor x = ht::tensor::random_uniform(Shape{30, 30}, 500, 3);
+  const nnz_t before = x.nnz();
+  x.sum_duplicates();
+  EXPECT_EQ(x.nnz(), before);
+}
+
+TEST(GeneratorsTest, RejectsImpossibleNnz) {
+  EXPECT_THROW(ht::tensor::random_uniform(Shape{3, 3}, 100, 1), ht::Error);
+}
+
+TEST(GeneratorsTest, ZipfSkewsSliceSizes) {
+  // With theta > 1 the largest slice should hold far more than 1/I of the
+  // nonzeros; with theta = 0 slices should be near-uniform.
+  const Shape shape{2000, 2000};
+  const nnz_t n = 20000;
+  const CooTensor skew =
+      ht::tensor::random_zipf(shape, n, {1.3, 0.0}, 11);
+  const CooTensor flat = ht::tensor::random_zipf(shape, n, {0.0, 0.0}, 11);
+
+  const auto hist_max = [](const CooTensor& x) {
+    const auto h = x.slice_nnz(0);
+    return *std::max_element(h.begin(), h.end());
+  };
+  EXPECT_GT(hist_max(skew), 8 * hist_max(flat));
+}
+
+TEST(GeneratorsTest, ZipfThetaArityChecked) {
+  EXPECT_THROW(ht::tensor::random_zipf(Shape{10, 10}, 5, {1.0}, 1), ht::Error);
+}
+
+TEST(GeneratorsTest, PlantLowRankProducesStructuredValues) {
+  CooTensor x = ht::tensor::random_uniform(Shape{40, 40, 40}, 2000, 5);
+  ht::tensor::plant_low_rank_values(x, 4, 0.0, 6);
+  // All values strictly positive (products of positives) and nonconstant.
+  double mn = 1e30, mx = -1e30;
+  for (nnz_t t = 0; t < x.nnz(); ++t) {
+    mn = std::min(mn, x.value(t));
+    mx = std::max(mx, x.value(t));
+  }
+  EXPECT_GT(mn, 0.0);
+  EXPECT_GT(mx, mn);
+}
+
+TEST(GeneratorsTest, PresetSpecsMatchPaperTableOne) {
+  // Table I mode counts: Netflix/NELL 3-mode, Delicious/Flickr 4-mode;
+  // ranks 10 for 3-mode, 5 for 4-mode (Section V).
+  for (const auto& name : ht::tensor::paper_preset_names()) {
+    const auto spec = ht::tensor::paper_preset(name);
+    if (name == "netflix" || name == "nell") {
+      EXPECT_EQ(spec.shape.size(), 3u) << name;
+      EXPECT_EQ(spec.ranks[0], 10u) << name;
+    } else {
+      EXPECT_EQ(spec.shape.size(), 4u) << name;
+      EXPECT_EQ(spec.ranks[0], 5u) << name;
+    }
+    EXPECT_GT(spec.nnz, 0u);
+    EXPECT_EQ(spec.theta.size(), spec.shape.size());
+  }
+}
+
+TEST(GeneratorsTest, PresetShapeRatiosPreserved) {
+  // Netflix: I1 >> I2 >> I3 must survive scaling.
+  const auto spec = ht::tensor::paper_preset("netflix");
+  EXPECT_GT(spec.shape[0], spec.shape[1]);
+  EXPECT_GT(spec.shape[1], spec.shape[2]);
+  // Delicious: huge third mode (tags).
+  const auto del = ht::tensor::paper_preset("delicious");
+  EXPECT_GT(del.shape[2], del.shape[1]);
+  EXPECT_GT(del.shape[2], del.shape[3]);
+}
+
+TEST(GeneratorsTest, PresetScaleGrowsSizes) {
+  const auto s1 = ht::tensor::paper_preset("netflix", 1.0);
+  const auto s2 = ht::tensor::paper_preset("netflix", 2.0);
+  EXPECT_GT(s2.shape[0], s1.shape[0]);
+  EXPECT_GT(s2.nnz, s1.nnz);
+}
+
+TEST(GeneratorsTest, UnknownPresetThrows) {
+  EXPECT_THROW(ht::tensor::paper_preset("imdb"), ht::InvalidArgument);
+}
+
+TEST(GeneratorsTest, GeneratePresetSmokesAllFour) {
+  for (const auto& name : ht::tensor::paper_preset_names()) {
+    auto spec = ht::tensor::paper_preset(name, 0.05);  // tiny for test speed
+    const CooTensor x = ht::tensor::generate_preset(spec, 9);
+    EXPECT_GT(x.nnz(), spec.nnz / 2) << name;
+    EXPECT_NO_THROW(x.validate());
+    EXPECT_EQ(x.order(), spec.shape.size());
+  }
+}
+
+}  // namespace

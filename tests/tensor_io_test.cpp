@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "tensor/coo_tensor.hpp"
+#include "tensor/generators.hpp"
+#include "tensor/io.hpp"
+
+namespace {
+
+using ht::tensor::CooTensor;
+using ht::tensor::index_t;
+using ht::tensor::Shape;
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& suffix) {
+    path_ = ::testing::TempDir() + "ht_io_test_" + suffix;
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(TnsIoTest, ReadsSimpleFile) {
+  std::istringstream in(
+      "# comment line\n"
+      "1 1 1 3.5\n"
+      "\n"
+      "2 3 4 -1.25\n");
+  const CooTensor x = ht::tensor::read_tns(in);
+  EXPECT_EQ(x.order(), 3u);
+  EXPECT_EQ(x.nnz(), 2u);
+  EXPECT_EQ(x.shape(), (Shape{2, 3, 4}));
+  EXPECT_DOUBLE_EQ(x.value(0), 3.5);
+  EXPECT_EQ(x.index(2, 1), 3u);  // 0-based
+}
+
+TEST(TnsIoTest, RespectsExplicitShape) {
+  std::istringstream in("1 1 2.0\n");
+  const CooTensor x = ht::tensor::read_tns(in, Shape{5, 5});
+  EXPECT_EQ(x.shape(), (Shape{5, 5}));
+}
+
+TEST(TnsIoTest, RejectsIndexBeyondExplicitShape) {
+  std::istringstream in("9 1 2.0\n");
+  EXPECT_THROW(ht::tensor::read_tns(in, Shape{5, 5}), ht::IoError);
+}
+
+TEST(TnsIoTest, RejectsEmptyFile) {
+  std::istringstream in("# nothing\n");
+  EXPECT_THROW(ht::tensor::read_tns(in), ht::IoError);
+}
+
+TEST(TnsIoTest, RejectsZeroBasedIndices) {
+  std::istringstream in("0 1 2.0\n");
+  EXPECT_THROW(ht::tensor::read_tns(in), ht::IoError);
+}
+
+TEST(TnsIoTest, RejectsInconsistentArity) {
+  std::istringstream in(
+      "1 1 1 2.0\n"
+      "1 1 3.0\n");
+  EXPECT_THROW(ht::tensor::read_tns(in), ht::IoError);
+}
+
+TEST(TnsIoTest, RejectsFractionalIndices) {
+  std::istringstream in("1.5 1 2.0\n");
+  EXPECT_THROW(ht::tensor::read_tns(in), ht::IoError);
+}
+
+TEST(TnsIoTest, TextRoundTrip) {
+  CooTensor x(Shape{4, 6, 3});
+  x.push_back(std::vector<index_t>{0, 5, 2}, 1.5);
+  x.push_back(std::vector<index_t>{3, 0, 0}, -2.75);
+  std::ostringstream out;
+  ht::tensor::write_tns(out, x);
+  std::istringstream in(out.str());
+  const CooTensor y = ht::tensor::read_tns(in, x.shape());
+  ASSERT_EQ(y.nnz(), x.nnz());
+  for (ht::tensor::nnz_t t = 0; t < x.nnz(); ++t) {
+    for (std::size_t n = 0; n < x.order(); ++n) {
+      EXPECT_EQ(y.index(n, t), x.index(n, t));
+    }
+    EXPECT_DOUBLE_EQ(y.value(t), x.value(t));
+  }
+}
+
+TEST(TnsIoTest, MissingFileThrows) {
+  EXPECT_THROW(ht::tensor::read_tns_file("/nonexistent/path/x.tns"),
+               ht::IoError);
+}
+
+TEST(BinaryIoTest, RoundTripsGeneratedTensor) {
+  const CooTensor x =
+      ht::tensor::random_uniform(Shape{50, 40, 30}, 500, /*seed=*/7);
+  TempFile f("bin1");
+  ht::tensor::write_binary_file(f.path(), x);
+  const CooTensor y = ht::tensor::read_binary_file(f.path());
+  ASSERT_EQ(y.nnz(), x.nnz());
+  EXPECT_EQ(y.shape(), x.shape());
+  for (ht::tensor::nnz_t t = 0; t < x.nnz(); ++t) {
+    for (std::size_t n = 0; n < x.order(); ++n) {
+      EXPECT_EQ(y.index(n, t), x.index(n, t));
+    }
+    EXPECT_DOUBLE_EQ(y.value(t), x.value(t));
+  }
+}
+
+TEST(BinaryIoTest, RejectsBadMagic) {
+  TempFile f("bin2");
+  std::ofstream out(f.path(), std::ios::binary);
+  out << "NOTATENSOR";
+  out.close();
+  EXPECT_THROW(ht::tensor::read_binary_file(f.path()), ht::IoError);
+}
+
+TEST(BinaryIoTest, RejectsTruncatedFile) {
+  const CooTensor x = ht::tensor::random_uniform(Shape{10, 10}, 50, 8);
+  TempFile f("bin3");
+  ht::tensor::write_binary_file(f.path(), x);
+  // Truncate the file to half size.
+  std::ifstream in(f.path(), std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(f.path(), std::ios::binary | std::ios::trunc);
+  out.write(content.data(), static_cast<std::streamsize>(content.size() / 2));
+  out.close();
+  EXPECT_THROW(ht::tensor::read_binary_file(f.path()), ht::IoError);
+}
+
+TEST(BinaryIoTest, MissingFileThrows) {
+  EXPECT_THROW(ht::tensor::read_binary_file("/nonexistent/x.bin"),
+               ht::IoError);
+}
+
+}  // namespace

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "util/env.hpp"
+#include "util/error.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using ht::RunningStats;
+
+TEST(ErrorTest, CheckThrowsWithLocation) {
+  try {
+    HT_CHECK(1 == 2);
+    FAIL() << "expected throw";
+  } catch (const ht::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("util_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, CheckMsgIncludesStreamedMessage) {
+  try {
+    HT_CHECK_MSG(false, "value was " << 42);
+    FAIL() << "expected throw";
+  } catch (const ht::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("value was 42"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, PassingCheckDoesNotThrow) {
+  EXPECT_NO_THROW(HT_CHECK(2 + 2 == 4));
+  EXPECT_NO_THROW(HT_CHECK_MSG(true, "never rendered"));
+}
+
+TEST(ErrorTest, ExceptionHierarchy) {
+  EXPECT_THROW(throw ht::InvalidArgument("x"), ht::Error);
+  EXPECT_THROW(throw ht::IoError("x"), ht::Error);
+  EXPECT_THROW(throw ht::Error("x"), std::runtime_error);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  ht::Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  ht::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInRange) {
+  ht::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, BelowIsBoundedAndCoversRange) {
+  ht::Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.below(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, NormalHasReasonableMoments) {
+  ht::Rng rng(13);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(StatsTest, RunningStatsBasics) {
+  RunningStats s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(StatsTest, EmptyStatsAreZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(StatsTest, LoadSummaryImbalance) {
+  const std::vector<double> loads = {1.0, 2.0, 3.0, 2.0};
+  const auto s = ht::summarize_load(std::span<const double>(loads));
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_DOUBLE_EQ(s.avg, 2.0);
+  EXPECT_DOUBLE_EQ(s.imbalance(), 1.5);
+}
+
+TEST(StatsTest, HumanCountFormats) {
+  EXPECT_EQ(ht::human_count(42), "42");
+  EXPECT_EQ(ht::human_count(543000), "543K");
+  EXPECT_EQ(ht::human_count(20e6), "20M");
+  EXPECT_EQ(ht::human_count(1744000), "1744K");
+}
+
+TEST(TableTest, RendersAlignedTable) {
+  ht::TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_separator();
+  t.add_row({"beta", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+  EXPECT_EQ(t.rows(), 3u);  // 2 data + 1 separator
+}
+
+TEST(TableTest, RejectsWrongArity) {
+  ht::TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ht::Error);
+}
+
+TEST(EnvTest, FallbacksAndParsing) {
+  ::unsetenv("HT_TEST_ENV_VAR");
+  EXPECT_EQ(ht::env_int("HT_TEST_ENV_VAR", 7), 7);
+  ::setenv("HT_TEST_ENV_VAR", "123", 1);
+  EXPECT_EQ(ht::env_int("HT_TEST_ENV_VAR", 7), 123);
+  ::setenv("HT_TEST_ENV_VAR", "1.5", 1);
+  EXPECT_DOUBLE_EQ(ht::env_double("HT_TEST_ENV_VAR", 0.0), 1.5);
+  ::setenv("HT_TEST_ENV_VAR", "garbage!", 1);
+  EXPECT_EQ(ht::env_int("HT_TEST_ENV_VAR", 7), 7);
+  EXPECT_EQ(ht::env_string("HT_TEST_ENV_VAR", "x"), "garbage!");
+  ::unsetenv("HT_TEST_ENV_VAR");
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  ht::WallTimer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(t.seconds(), 0.0);
+  EXPECT_LT(t.seconds(), 10.0);
+}
+
+TEST(TimerTest, PhaseTimerAccumulates) {
+  ht::PhaseTimer t;
+  t.start();
+  t.stop();
+  t.start();
+  t.stop();
+  EXPECT_EQ(t.intervals(), 2);
+  EXPECT_GE(t.total_seconds(), 0.0);
+  t.reset();
+  EXPECT_EQ(t.intervals(), 0);
+}
+
+}  // namespace
