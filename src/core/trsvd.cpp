@@ -33,8 +33,17 @@ FactorTrsvd trsvd_factor(const la::Matrix& y, std::span<const index_t> rows,
     } else {
       solved = la::gram_trsvd(y, solvable);
     }
-    out.solver_steps = solved.steps;
   }
+  out = scatter_trsvd_solution(solved, solvable, rows, dim, rank);
+  return out;
+}
+
+FactorTrsvd scatter_trsvd_solution(const la::TrsvdResult& solved,
+                                   std::size_t solvable,
+                                   std::span<const index_t> rows, index_t dim,
+                                   std::size_t rank) {
+  FactorTrsvd out;
+  out.solver_steps = solved.steps;
 
   out.sigma.assign(rank, 0.0);
   std::copy(solved.sigma.begin(), solved.sigma.end(), out.sigma.begin());

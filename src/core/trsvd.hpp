@@ -42,4 +42,15 @@ FactorTrsvd trsvd_factor(const la::Matrix& y, std::span<const index_t> rows,
                          TrsvdMethod method = TrsvdMethod::kLanczos,
                          const la::TrsvdOptions& options = {});
 
+/// Scatter an already-solved compact SVD (`solved.u`: rows.size() x
+/// >=solvable) into a full dim x rank factor, completing rank-deficient or
+/// unconverged solutions to orthonormal columns. This is the tail of
+/// trsvd_factor, exposed so the distributed driver — which obtains
+/// `solved` from a Lanczos run over a row-distributed operator — goes
+/// through the exact same completion path as the shared-memory solver.
+FactorTrsvd scatter_trsvd_solution(const la::TrsvdResult& solved,
+                                   std::size_t solvable,
+                                   std::span<const index_t> rows, index_t dim,
+                                   std::size_t rank);
+
 }  // namespace ht::core

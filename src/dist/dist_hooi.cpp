@@ -1,0 +1,427 @@
+#include "dist/dist_hooi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+#include "core/symbolic.hpp"
+#include "core/trsvd.hpp"
+#include "core/ttmc.hpp"
+#include "la/blas.hpp"
+#include "parallel/thread_info.hpp"
+#include "smp/communicator.hpp"
+#include "tensor/dense_tensor.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace ht::dist {
+
+namespace {
+
+// Fold/expand row exchange of one row-space vector: for every send list,
+// ship the entries at the listed local positions to the peer; for every
+// receive list (ascending peer order, so accumulation is deterministic),
+// combine the incoming entries at the listed positions.
+void exchange_rows(smp::Communicator& comm, std::span<double> u,
+                   const std::vector<CommList>& send,
+                   const std::vector<CommList>& recv, int tag,
+                   bool accumulate) {
+  std::vector<double> buf;
+  for (const CommList& s : send) {
+    buf.resize(s.positions.size());
+    for (std::size_t i = 0; i < s.positions.size(); ++i) {
+      buf[i] = u[s.positions[i]];
+    }
+    comm.send<double>(s.peer, tag, buf);
+  }
+  for (const CommList& rc : recv) {
+    const std::vector<double> vals = comm.recv<double>(rc.peer, tag);
+    HT_CHECK_MSG(vals.size() == rc.positions.size(),
+                 "fold/expand payload size mismatch");
+    if (accumulate) {
+      for (std::size_t i = 0; i < vals.size(); ++i) {
+        u[rc.positions[i]] += vals[i];
+      }
+    } else {
+      for (std::size_t i = 0; i < vals.size(); ++i) {
+        u[rc.positions[i]] = vals[i];
+      }
+    }
+  }
+}
+
+// Row-distributed view of Y(n) for the Lanczos TRSVD (paper Sec. III-B):
+// the local matrix holds this rank's rows of Y(n) — partial sums over the
+// rank's nonzeros under the fine grain, complete owned rows under the
+// coarse grain. Y(n) is never assembled:
+//   apply():           u = Y_local v, then (fine grain) fold partial row
+//                      entries to their owners and expand the folded values
+//                      back, leaving u globally consistent at every local
+//                      position;
+//   apply_transpose(): v = Y_local^T u summed over ranks — partial local
+//                      rows add up to the true rows, so a plain allreduce
+//                      of the small column-space vector is exact;
+//   row_dot():         each global row counted once (owned positions only),
+//                      then reduced.
+// With one rank all lists are empty and every collective is the identity,
+// so the operator degenerates to la::DenseOperator over the compact Y(n).
+class DistYOperator final : public la::TrsvdOperator {
+ public:
+  DistYOperator(const la::Matrix& y, const ModePlan& mp,
+                std::span<const std::uint32_t> owned_pos,
+                std::size_t global_rows, smp::Communicator& comm, int tag_base)
+      : y_(y),
+        mp_(mp),
+        owned_pos_(owned_pos),
+        global_rows_(global_rows),
+        comm_(comm),
+        tag_base_(tag_base) {}
+
+  [[nodiscard]] std::size_t row_local_size() const override {
+    return y_.rows();
+  }
+  [[nodiscard]] std::size_t row_global_size() const override {
+    return global_rows_;
+  }
+  [[nodiscard]] std::size_t col_size() const override { return y_.cols(); }
+
+  void apply(std::span<const double> v, std::span<double> u) override {
+    la::gemv(y_, v, u);
+    if (!mp_.fold_send.empty() || !mp_.fold_recv.empty()) {
+      exchange_rows(comm_, u, mp_.fold_send, mp_.fold_recv, tag_base_,
+                    /*accumulate=*/true);
+    }
+    if (!mp_.factor_send.empty() || !mp_.factor_recv.empty()) {
+      exchange_rows(comm_, u, mp_.factor_send, mp_.factor_recv, tag_base_ + 1,
+                    /*accumulate=*/false);
+    }
+  }
+
+  void apply_transpose(std::span<const double> u,
+                       std::span<double> v) override {
+    la::gemv_t(y_, u, v);
+    comm_.allreduce_sum(v);
+  }
+
+  [[nodiscard]] double row_dot(std::span<const double> a,
+                               std::span<const double> b) const override {
+    double s = 0.0;
+    for (std::uint32_t pos : owned_pos_) s += a[pos] * b[pos];
+    return comm_.allreduce_sum_scalar(s);
+  }
+
+ private:
+  const la::Matrix& y_;
+  const ModePlan& mp_;
+  std::span<const std::uint32_t> owned_pos_;
+  std::size_t global_rows_;
+  smp::Communicator& comm_;
+  int tag_base_;
+};
+
+// Replicated per-mode geometry shared by all ranks.
+struct ModeGlobal {
+  /// J_n: sorted global rows with nonzeros (the shared-memory compact set).
+  std::vector<index_t> rows;
+  /// Assembly permutation: sorted position k corresponds to entry
+  /// gather_perm[k] of the rank-order concatenation of owned_rows.
+  std::vector<std::uint32_t> gather_perm;
+  std::size_t width = 0;     // prod of ranks over the other modes
+  std::size_t solvable = 0;  // min(rank, |J_n|, width)
+};
+
+std::uint64_t comm_list_rows(const std::vector<CommList>& lists) {
+  std::uint64_t total = 0;
+  for (const CommList& l : lists) total += l.positions.size();
+  return total;
+}
+
+LoadSummary summarize_cells(const DistStats& stats, std::size_t mode,
+                            std::uint64_t DistLoad::*field) {
+  std::vector<std::uint64_t> values(stats.ranks());
+  for (std::size_t r = 0; r < stats.ranks(); ++r) {
+    values[r] = stats.at(mode, r).*field;
+  }
+  return summarize_load(values);
+}
+
+}  // namespace
+
+LoadSummary DistStats::ttmc_summary(std::size_t mode) const {
+  return summarize_cells(*this, mode, &DistLoad::w_ttmc);
+}
+
+LoadSummary DistStats::trsvd_summary(std::size_t mode) const {
+  return summarize_cells(*this, mode, &DistLoad::w_trsvd);
+}
+
+LoadSummary DistStats::comm_summary(std::size_t mode) const {
+  return summarize_cells(*this, mode, &DistLoad::comm_entries);
+}
+
+std::uint64_t DistStats::total_comm_entries() const {
+  std::uint64_t total = 0;
+  for (const DistLoad& c : cells_) total += c.comm_entries;
+  return total;
+}
+
+void validate_dist_options(const CooTensor& x, const DistHooiOptions& options) {
+  if (x.nnz() == 0) {
+    throw InvalidArgument("distributed HOOI needs a nonempty tensor");
+  }
+  if (options.ranks.size() != x.order()) {
+    throw InvalidArgument("need one rank per tensor mode");
+  }
+  for (std::size_t n = 0; n < x.order(); ++n) {
+    if (options.ranks[n] < 1 || options.ranks[n] > x.dim(n)) {
+      throw InvalidArgument("rank out of range for mode " + std::to_string(n));
+    }
+  }
+  if (options.max_iterations < 1) {
+    throw InvalidArgument("max_iterations must be >= 1");
+  }
+  if (options.num_ranks < 1) {
+    throw InvalidArgument("num_ranks must be >= 1");
+  }
+}
+
+DistHooiResult dist_hooi(const CooTensor& x, const DistHooiOptions& options) {
+  validate_dist_options(x, options);
+  PlanOptions popt;
+  popt.grain = options.grain;
+  popt.method = options.method;
+  popt.num_ranks = options.num_ranks;
+  popt.seed = options.seed;
+  popt.epsilon = options.epsilon;
+  const GlobalPlan gplan = build_global_plan(x, popt);
+  const std::vector<RankPlan> rplans =
+      build_rank_plans(x, gplan, options.ranks, options.seed);
+  return dist_hooi(x, options, gplan, rplans);
+}
+
+DistHooiResult dist_hooi(const CooTensor& x, const DistHooiOptions& options,
+                         const GlobalPlan& gplan,
+                         const std::vector<RankPlan>& rplans) {
+  validate_dist_options(x, options);
+  const int p = options.num_ranks;
+  HT_CHECK_MSG(gplan.num_ranks == p, "plan was built for "
+                                         << gplan.num_ranks
+                                         << " ranks, options request " << p);
+  HT_CHECK_MSG(rplans.size() == static_cast<std::size_t>(p),
+               "rank plan count mismatch");
+  const std::size_t order = x.order();
+
+  // Replicated geometry.
+  std::vector<ModeGlobal> geo(order);
+  for (std::size_t n = 0; n < order; ++n) {
+    ModeGlobal& g = geo[n];
+    g.width = 1;
+    for (std::size_t t = 0; t < order; ++t) {
+      if (t != n) g.width *= options.ranks[t];
+    }
+    std::vector<std::pair<index_t, std::uint32_t>> concat;
+    for (int r = 0; r < p; ++r) {
+      for (index_t row : rplans[r].modes[n].owned_rows) {
+        concat.emplace_back(row, static_cast<std::uint32_t>(concat.size()));
+      }
+    }
+    std::sort(concat.begin(), concat.end());
+    g.rows.reserve(concat.size());
+    g.gather_perm.reserve(concat.size());
+    for (const auto& [row, pos] : concat) {
+      g.rows.push_back(row);
+      g.gather_perm.push_back(pos);
+    }
+    g.solvable = std::min({static_cast<std::size_t>(options.ranks[n]),
+                           g.rows.size(), g.width});
+  }
+
+  DistHooiResult result;
+  result.label = config_label(gplan.grain, gplan.method);
+
+  // Table III loads: a property of the partition, computed from the plans.
+  result.stats = DistStats(order, static_cast<std::size_t>(p));
+  for (std::size_t n = 0; n < order; ++n) {
+    const auto hist = x.slice_nnz(n);
+    for (int r = 0; r < p; ++r) {
+      const ModePlan& mp = rplans[r].modes[n];
+      DistLoad& load = result.stats.at(n, static_cast<std::size_t>(r));
+      if (gplan.grain == Grain::kFine) {
+        load.w_ttmc = rplans[r].local.nnz();
+        load.w_trsvd = mp.local_rows.size() * geo[n].width;
+      } else {
+        for (index_t g : mp.owned_rows) load.w_ttmc += hist[g];
+        load.w_trsvd = mp.owned_rows.size() * geo[n].width;
+      }
+      const std::uint64_t rows_moved =
+          comm_list_rows(mp.fold_send) + comm_list_rows(mp.fold_recv) +
+          comm_list_rows(mp.factor_send) + comm_list_rows(mp.factor_recv);
+      load.comm_entries = rows_moved * options.ranks[n];
+    }
+  }
+
+  const double x_norm2 = x.norm2_squared();
+  const core::TtmcOptions ttmc_options{options.ttmc_schedule};
+  const tensor::Shape core_shape(options.ranks.begin(), options.ranks.end());
+
+  smp::run_spmd(p, [&](smp::Communicator& comm) {
+    const int rank = comm.rank();
+    const RankPlan& rp = rplans[static_cast<std::size_t>(rank)];
+    parallel::ThreadScope threads(options.threads_per_rank);
+
+    WallTimer t_symbolic;
+    const core::SymbolicTtmc symbolic = core::SymbolicTtmc::build(rp.local);
+    core::HooiTimers timers;
+    timers.symbolic = t_symbolic.seconds();
+
+    // Positions of owned rows inside the local row set (== local compact Y
+    // rows: every local row is non-empty by construction), plus the
+    // operator's owned positions within its row space: all local rows under
+    // the fine grain, the owned rows themselves (identity) under the coarse
+    // grain, where Y holds owned rows only.
+    const bool fine = gplan.grain == Grain::kFine;
+    std::vector<std::vector<std::uint32_t>> owned_pos(order);
+    std::vector<std::vector<std::uint32_t>> op_owned_pos(order);
+    for (std::size_t n = 0; n < order; ++n) {
+      HT_CHECK(symbolic.modes[n].rows.size() == rp.modes[n].local_rows.size());
+      owned_pos[n].reserve(rp.modes[n].owned_rows.size());
+      for (index_t g : rp.modes[n].owned_rows) {
+        owned_pos[n].push_back(local_row_position(rp.modes[n].local_rows, g));
+      }
+      if (fine) {
+        op_owned_pos[n] = owned_pos[n];
+      } else {
+        op_owned_pos[n].resize(rp.modes[n].owned_rows.size());
+        std::iota(op_owned_pos[n].begin(), op_owned_pos[n].end(), 0u);
+      }
+    }
+
+    std::vector<la::Matrix> factors = rp.initial_factors;  // local slices
+    std::vector<la::Matrix> full_factors(order);           // assembled U_n
+    la::Matrix y;  // local part of compact Y(n), reused across modes
+    tensor::DenseTensor core_tensor;
+    std::vector<double> fits;
+    int iterations = 0;
+    bool converged = false;
+    double previous_fit = -1.0;
+
+    WallTimer loop_timer;
+    for (int iter = 0; iter < options.max_iterations; ++iter) {
+      for (std::size_t n = 0; n < order; ++n) {
+        const ModePlan& mp = rp.modes[n];
+        const ModeGlobal& g = geo[n];
+        const auto rank_n = static_cast<std::size_t>(options.ranks[n]);
+
+        WallTimer t_ttmc;
+        if (fine) {
+          // Partial rows over every local row; folded inside the TRSVD.
+          core::ttmc_mode(rp.local, factors, n, symbolic.modes[n], y,
+                          ttmc_options);
+        } else {
+          // Owners hold whole slices: owned rows are complete.
+          core::ttmc_mode_subset(rp.local, factors, n, symbolic.modes[n],
+                                 owned_pos[n], y, ttmc_options);
+        }
+        timers.ttmc += t_ttmc.seconds();
+
+        WallTimer t_trsvd;
+        // Row space of the operator: all local rows (fine, partial) or the
+        // owned rows only (coarse, complete — no fold/expand lists needed).
+        static const ModePlan kNoComm;
+        const ModePlan& op_plan = fine ? mp : kNoComm;
+        DistYOperator op(y, op_plan, op_owned_pos[n], g.rows.size(), comm,
+                         static_cast<int>(2 * n));
+        la::TrsvdResult solved = la::lanczos_trsvd(op, g.solvable, options.trsvd);
+
+        // Gather the owners' rows of U and assemble the replicated compact
+        // solution in global row order (identical on every rank: collectives
+        // concatenate in rank order and the permutation is precomputed).
+        std::vector<double> mine(mp.owned_rows.size() * g.solvable);
+        for (std::size_t i = 0; i < mp.owned_rows.size(); ++i) {
+          const std::size_t src = fine ? owned_pos[n][i] : i;
+          for (std::size_t j = 0; j < g.solvable; ++j) {
+            mine[i * g.solvable + j] = solved.u(src, j);
+          }
+        }
+        const std::vector<double> gathered = comm.allgatherv(mine);
+        HT_CHECK(gathered.size() == g.rows.size() * g.solvable);
+        la::TrsvdResult global = std::move(solved);
+        global.u.resize_zero(g.rows.size(), g.solvable);
+        for (std::size_t k = 0; k < g.rows.size(); ++k) {
+          const double* src = gathered.data() +
+                              static_cast<std::size_t>(g.gather_perm[k]) *
+                                  g.solvable;
+          std::copy(src, src + g.solvable, global.u.row(k).begin());
+        }
+        const core::FactorTrsvd svd = core::scatter_trsvd_solution(
+            global, g.solvable, g.rows, x.dim(n), rank_n);
+
+        // Refresh the local factor slice (padded like the local tensor).
+        la::Matrix local_f(rp.local.dim(n), rank_n);
+        for (std::size_t i = 0; i < mp.local_rows.size(); ++i) {
+          const auto src = svd.factor.row(mp.local_rows[i]);
+          std::copy(src.begin(), src.end(), local_f.row(i).begin());
+        }
+        factors[n] = std::move(local_f);
+        full_factors[n] = svd.factor;
+        timers.trsvd += t_trsvd.seconds();
+
+        if (n + 1 == order) {
+          // Core tensor: G(N) = U_N^T Y(N) summed over ranks — partial
+          // local Y rows (fine) or disjoint owned rows (coarse) both add up
+          // to the global product (paper's core+comm step).
+          WallTimer t_core;
+          la::Matrix u_slice(y.rows(), rank_n);
+          const std::vector<index_t>& rows =
+              fine ? mp.local_rows : mp.owned_rows;
+          for (std::size_t i = 0; i < rows.size(); ++i) {
+            const auto src = svd.factor.row(rows[i]);
+            std::copy(src.begin(), src.end(), u_slice.row(i).begin());
+          }
+          la::Matrix g_mat = la::gemm_tn(u_slice, y);
+          comm.allreduce_sum(g_mat.flat());
+          core_tensor =
+              tensor::DenseTensor::dematricize(g_mat, core_shape, order - 1);
+          timers.core += t_core.seconds();
+        }
+      }
+
+      const double core_norm = core_tensor.frobenius_norm();
+      const double fit = core::fit_from_core_norm(x_norm2, core_norm * core_norm);
+      fits.push_back(fit);
+      iterations = iter + 1;
+
+      if (previous_fit >= 0.0 &&
+          std::abs(fit - previous_fit) < options.fit_tolerance) {
+        converged = true;
+        break;
+      }
+      previous_fit = fit;
+    }
+    const double loop_seconds = loop_timer.seconds();
+
+    // Slowest-rank step times (every rank participates in the reductions).
+    core::HooiTimers reduced;
+    reduced.symbolic = comm.allreduce_max(timers.symbolic);
+    reduced.ttmc = comm.allreduce_max(timers.ttmc);
+    reduced.trsvd = comm.allreduce_max(timers.trsvd);
+    reduced.core = comm.allreduce_max(timers.core);
+    const double max_loop = comm.allreduce_max(loop_seconds);
+
+    if (rank == 0) {
+      result.decomposition.core = std::move(core_tensor);
+      result.decomposition.factors = std::move(full_factors);
+      result.fits = std::move(fits);
+      result.iterations = iterations;
+      result.converged = converged;
+      result.timers = reduced;
+      result.seconds_per_iteration =
+          iterations > 0 ? max_loop / iterations : 0.0;
+    }
+  });
+
+  return result;
+}
+
+}  // namespace ht::dist

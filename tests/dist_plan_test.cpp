@@ -3,6 +3,7 @@
 #include <numeric>
 #include <set>
 
+#include "core/hosvd.hpp"
 #include "dist/partition_plan.hpp"
 #include "tensor/generators.hpp"
 
@@ -218,6 +219,44 @@ TEST(PlanTest, CoarseGrainOwnersHoldWholeSlices) {
           std::lower_bound(mp.local_rows.begin(), mp.local_rows.end(), g);
       const auto local_id = static_cast<std::size_t>(it - mp.local_rows.begin());
       EXPECT_EQ(local_hist[local_id], hist[g]) << "slice " << g;
+    }
+  }
+}
+
+TEST(PlanTest, InitialFactorsIndependentOfGlobalPlanSeed) {
+  // Guards the PrebuiltPlansCanBeReused contract in dist_hooi_test: the
+  // initial factors a RankPlan carries depend only on the seed passed to
+  // build_rank_plans (they are local slices of the deterministic global
+  // factors), never on the seed the partition was built with. A plan
+  // partitioned offline with any seed must still reproduce the same HOOI
+  // starting point.
+  const CooTensor x = test_tensor();
+  const std::vector<index_t> ranks = {4, 3, 5};
+  const std::uint64_t factor_seed = 42;
+
+  PlanOptions a = opts(Grain::kCoarse, Method::kHypergraph, 3);
+  a.seed = 7;
+  PlanOptions b = a;
+  b.seed = 12345;
+
+  const auto init = ht::core::random_orthonormal_factors(
+      x.shape(), std::span<const index_t>(ranks), factor_seed);
+
+  for (const PlanOptions& po : {a, b}) {
+    const GlobalPlan plan = build_global_plan(x, po);
+    const auto rplans = build_rank_plans(x, plan, ranks, factor_seed);
+    for (const auto& rp : rplans) {
+      ASSERT_EQ(rp.initial_factors.size(), 3u);
+      for (std::size_t n = 0; n < 3; ++n) {
+        const auto& lr = rp.modes[n].local_rows;
+        for (std::size_t i = 0; i < lr.size(); ++i) {
+          for (std::size_t j = 0; j < ranks[n]; ++j) {
+            ASSERT_DOUBLE_EQ(rp.initial_factors[n](i, j), init[n](lr[i], j))
+                << "plan seed " << po.seed << " rank " << rp.rank << " mode "
+                << n << " local row " << i;
+          }
+        }
+      }
     }
   }
 }
