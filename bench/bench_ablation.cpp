@@ -5,18 +5,104 @@
 //      Sec. V argument for reusing the symbolic structure);
 //   2. dynamic vs static OpenMP scheduling of the TTMc row loop on a skewed
 //      tensor (the paper chooses dynamic);
-//   3. Lanczos vs Gram-matrix TRSVD (the matrix-free choice).
+//   3. Lanczos vs Gram-matrix TRSVD (the matrix-free choice);
+//   4. per-nnz vs fiber-factored TTMc kernels across fiber-length regimes,
+//      and what the kAuto heuristic picks in each (the perf-trajectory
+//      entry: fiber factoring must win on fiber-dense tensors and kAuto
+//      must not regress fiber-sparse ones).
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_common.hpp"
 #include "core/hooi.hpp"
+#include "core/hosvd.hpp"
 #include "core/symbolic.hpp"
 #include "core/trsvd.hpp"
 #include "core/ttmc.hpp"
 #include "la/lanczos.hpp"
+#include "tensor/generators.hpp"
+
+namespace {
+
+// Time the mode-`n` TTMc, best of `reps`. Per-mode timing is the unit the
+// kernel heuristic decides on: a tensor's modes can sit in different fiber
+// regimes (the generator's last mode sees singleton fibers), and kAuto
+// picks per mode.
+double time_ttmc_mode(const ht::tensor::CooTensor& x,
+                      const std::vector<ht::la::Matrix>& factors,
+                      const ht::core::SymbolicTtmc& sym, std::size_t n,
+                      const ht::core::TtmcOptions& options, int reps) {
+  double best = 1e300;
+  ht::la::Matrix y;
+  for (int rep = 0; rep < reps; ++rep) {
+    ht::WallTimer t;
+    ht::core::ttmc_mode(x, factors, n, sym.modes[n], y, options);
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+void fiber_kernel_ablation(bool smoke) {
+  using namespace ht;
+  std::printf("=== Ablation 4: per-nnz vs fiber-factored TTMc ===\n");
+  const tensor::nnz_t target_nnz = smoke ? 20000 : 2000000;
+  const tensor::Shape shape = smoke ? tensor::Shape{200, 200, 400}
+                                    : tensor::Shape{3000, 3000, 5000};
+  const std::vector<tensor::index_t> ranks(3, 10);
+  const int reps = smoke ? 1 : 5;
+
+  // Mode 0 of the fibered generator sees ~fiber_len-long fibers; the last
+  // mode (fibers run along it) sees singletons, where kAuto must fall back.
+  std::printf("%-10s %10s %12s %12s %9s %6s\n", "fiber_len", "avg_len",
+              "per-nnz(s)", "fiber(s)", "speedup", "auto");
+  for (const tensor::index_t fiber_len : {1, 2, 4, 8, 16}) {
+    const auto x = tensor::random_fibered(shape, target_nnz / fiber_len,
+                                          fiber_len, 97);
+    const core::SymbolicTtmc sym = core::SymbolicTtmc::build(x);
+    const auto factors =
+        core::random_orthonormal_factors(x.shape(), ranks, 7);
+
+    core::TtmcOptions per_nnz;
+    per_nnz.kernel = core::TtmcKernel::kPerNnz;
+    core::TtmcOptions fiber;
+    fiber.kernel = core::TtmcKernel::kFiberFactored;
+
+    const double t_nnz = time_ttmc_mode(x, factors, sym, 0, per_nnz, reps);
+    const double t_fib = time_ttmc_mode(x, factors, sym, 0, fiber, reps);
+    const auto picked =
+        core::ttmc_selected_kernel(sym.modes[0], x.order(), {});
+    std::printf("%-10u %10.2f %12.4f %12.4f %8.2fx %6s\n", fiber_len,
+                sym.modes[0].avg_fiber_length(), t_nnz, t_fib, t_nnz / t_fib,
+                picked == core::TtmcKernel::kFiberFactored ? "fiber" : "nnz");
+  }
+
+  // kAuto on the singleton-fiber mode: must match per-nnz within noise.
+  {
+    const auto x = tensor::random_fibered(shape, target_nnz, 1, 97);
+    const core::SymbolicTtmc sym = core::SymbolicTtmc::build(x);
+    const auto factors =
+        core::random_orthonormal_factors(x.shape(), ranks, 7);
+    core::TtmcOptions per_nnz;
+    per_nnz.kernel = core::TtmcKernel::kPerNnz;
+    const double t_nnz =
+        time_ttmc_mode(x, factors, sym, 0, per_nnz, reps);
+    const double t_auto = time_ttmc_mode(x, factors, sym, 0, {}, reps);
+    std::printf("fiber-sparse kAuto fallback: per-nnz %.4fs vs auto %.4fs "
+                "(%.2fx)\n\n",
+                t_nnz, t_auto, t_nnz / t_auto);
+  }
+}
+
+}  // namespace
 
 int main() {
   using namespace ht;
+
+  fiber_kernel_ablation(htb::bench_smoke());
+  if (htb::bench_smoke()) {
+    std::printf("[smoke] skipping ablations 1-3 (HT_SMOKE=1)\n");
+    return 0;
+  }
 
   const auto bt = htb::load_preset("netflix");
   const auto& x = bt.tensor;

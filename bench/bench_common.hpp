@@ -33,6 +33,10 @@ inline int bench_nprocs() {
   return static_cast<int>(ht::env_int("HT_NPROCS", 8));
 }
 
+/// HT_SMOKE=1 shrinks benches to one tiny case so CI can prove the kernel
+/// benches compile and run without paying for real measurements.
+inline bool bench_smoke() { return ht::env_int("HT_SMOKE", 0) != 0; }
+
 inline std::vector<std::string> split_csv(const std::string& csv) {
   std::vector<std::string> out;
   std::size_t begin = 0;

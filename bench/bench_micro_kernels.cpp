@@ -3,6 +3,8 @@
 // and the simulated collectives.
 #include <benchmark/benchmark.h>
 
+#include <map>
+
 #include "core/hosvd.hpp"
 #include "core/symbolic.hpp"
 #include "core/trsvd.hpp"
@@ -52,6 +54,50 @@ void BM_TtmcMode(benchmark::State& state) {
                           static_cast<std::int64_t>(f.x.nnz()));
 }
 BENCHMARK(BM_TtmcMode)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+// Per-nnz vs fiber-factored across fiber-length regimes: one tensor per
+// fiber length (constant total nnz), mode 0 (whose fibers run along the
+// generator's last-mode runs).
+struct FiberFixture {
+  CooTensor x;
+  SymbolicTtmc sym;
+  std::vector<Matrix> factors;
+};
+
+const FiberFixture& fiber_fixture(index_t fiber_len) {
+  static std::map<index_t, FiberFixture> cache;
+  auto it = cache.find(fiber_len);
+  if (it == cache.end()) {
+    FiberFixture fx;
+    fx.x = ht::tensor::random_fibered(Shape{2000, 2000, 3000},
+                                      200000 / fiber_len, fiber_len, 97);
+    fx.sym = SymbolicTtmc::build(fx.x);
+    fx.factors = ht::core::random_orthonormal_factors(
+        fx.x.shape(), std::vector<index_t>{10, 10, 10}, 7);
+    it = cache.emplace(fiber_len, std::move(fx)).first;
+  }
+  return it->second;
+}
+
+void BM_TtmcKernelByFiberLength(benchmark::State& state) {
+  const auto fiber_len = static_cast<index_t>(state.range(0));
+  const bool fiber_kernel = state.range(1) != 0;
+  const auto& f = fiber_fixture(fiber_len);
+  ht::core::TtmcOptions options;
+  options.kernel = fiber_kernel ? ht::core::TtmcKernel::kFiberFactored
+                                : ht::core::TtmcKernel::kPerNnz;
+  Matrix y;
+  for (auto _ : state) {
+    ht::core::ttmc_mode(f.x, f.factors, 0, f.sym.modes[0], y, options);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.x.nnz()));
+}
+BENCHMARK(BM_TtmcKernelByFiberLength)
+    ->ArgsProduct({{1, 2, 4, 8, 16}, {0, 1}})
+    ->ArgNames({"fiber_len", "fiber_kernel"})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SymbolicTtmc(benchmark::State& state) {
   const auto& f = TtmcFixture::instance();

@@ -2,7 +2,8 @@
 // run HOOI, print fit diagnostics, optionally export the factor matrices.
 //
 //   ./tucker_cli INPUT.tns R1,R2,...  [--iters N] [--tol T] [--threads P]
-//                [--init random|range] [--export PREFIX] [--sweep]
+//                [--init random|range] [--ttmc-kernel auto|nnz|fiber]
+//                [--fiber-threshold T] [--export PREFIX] [--sweep]
 //
 // With --sweep, the ranks argument is treated as the *maximum* per mode and
 // HOOI is run for a ladder of candidate ranks (reusing one symbolic TTMc),
@@ -53,8 +54,9 @@ void export_factors(const ht::core::TuckerDecomposition& t,
 int usage() {
   std::fprintf(stderr,
                "usage: tucker_cli INPUT.tns R1,R2,... [--iters N] [--tol T]"
-               " [--threads P] [--init random|range] [--export PREFIX]"
-               " [--sweep]\n");
+               " [--threads P] [--init random|range]"
+               " [--ttmc-kernel auto|nnz|fiber] [--fiber-threshold T]"
+               " [--export PREFIX] [--sweep]\n");
   return 2;
 }
 
@@ -88,6 +90,19 @@ int main(int argc, char** argv) {
       const std::string v = next();
       options.init = v == "range" ? ht::core::HooiInit::kRandomizedRange
                                   : ht::core::HooiInit::kRandom;
+    } else if (arg == "--ttmc-kernel") {
+      const std::string v = next();
+      if (v == "auto") {
+        options.ttmc_kernel = ht::core::TtmcKernel::kAuto;
+      } else if (v == "nnz") {
+        options.ttmc_kernel = ht::core::TtmcKernel::kPerNnz;
+      } else if (v == "fiber") {
+        options.ttmc_kernel = ht::core::TtmcKernel::kFiberFactored;
+      } else {
+        return usage();
+      }
+    } else if (arg == "--fiber-threshold") {
+      options.ttmc_fiber_threshold = std::atof(next());
     } else if (arg == "--export") {
       export_prefix = next();
     } else if (arg == "--sweep") {

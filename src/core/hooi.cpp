@@ -31,7 +31,10 @@ HooiResult hooi(const CooTensor& x, const HooiOptions& options) {
 
   HooiResult result;
   WallTimer timer;
-  const SymbolicTtmc symbolic = SymbolicTtmc::build(x);
+  // An explicit per-nnz request never consults the fiber index; skip the
+  // per-row sorts it would cost.
+  const SymbolicTtmc symbolic = SymbolicTtmc::build(
+      x, /*with_fibers=*/options.ttmc_kernel != TtmcKernel::kPerNnz);
   result.timers.symbolic = timer.seconds();
 
   HooiResult rest = hooi(x, options, symbolic);
@@ -55,7 +58,8 @@ HooiResult hooi(const CooTensor& x, const HooiOptions& options,
           : randomized_range_factors(x, options.ranks, options.seed);
 
   const double x_norm2 = x.norm2_squared();
-  const TtmcOptions ttmc_options{options.ttmc_schedule};
+  const TtmcOptions ttmc_options{options.ttmc_schedule, options.ttmc_kernel,
+                                 options.ttmc_fiber_threshold};
 
   la::Matrix y;  // compact Y(n), reused across modes/iterations
   la::Matrix last_compact_u;

@@ -30,6 +30,10 @@ struct HooiOptions {
   HooiInit init = HooiInit::kRandom;
   TrsvdMethod trsvd_method = TrsvdMethod::kLanczos;
   Schedule ttmc_schedule = Schedule::kDynamic;
+  /// Kernel family per TTMc mode; kAuto applies the fiber-length heuristic.
+  TtmcKernel ttmc_kernel = TtmcKernel::kAuto;
+  /// Average-fiber-length threshold used by TtmcKernel::kAuto.
+  double ttmc_fiber_threshold = TtmcOptions{}.fiber_threshold;
   /// OpenMP threads (0 = runtime default). Paper Table V sweeps this.
   int num_threads = 0;
   std::uint64_t seed = 42;

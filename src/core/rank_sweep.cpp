@@ -35,7 +35,8 @@ RankSweepResult rank_sweep(const CooTensor& x,
 
   RankSweepResult result;
   WallTimer t_sym;
-  const SymbolicTtmc symbolic = SymbolicTtmc::build(x);
+  const SymbolicTtmc symbolic = SymbolicTtmc::build(
+      x, /*with_fibers=*/base.ttmc_kernel != TtmcKernel::kPerNnz);
   result.symbolic_seconds = t_sym.seconds();
 
   for (const auto& ranks : candidates) {

@@ -87,6 +87,222 @@ void parallel_rows(std::ptrdiff_t nrows, Schedule schedule, Body&& body) {
   }
 }
 
+// The full-mode and subset entry points share every kernel below through a
+// row map: the loop index r runs over output rows, map(r) names the compact
+// symbolic row it computes.
+
+struct IdentityRowMap {
+  std::size_t operator()(std::ptrdiff_t r) const {
+    return static_cast<std::size_t>(r);
+  }
+};
+
+struct SubsetRowMap {
+  std::span<const std::uint32_t> positions;
+  std::size_t operator()(std::ptrdiff_t r) const {
+    return positions[static_cast<std::size_t>(r)];
+  }
+};
+
+// ---- per-nonzero kernels --------------------------------------------------
+
+template <typename RowMap>
+void ttmc3_per_nnz(const CooTensor& x, const std::vector<la::Matrix>& factors,
+                   std::size_t mode, const ModeSymbolic& sym,
+                   std::ptrdiff_t nrows, RowMap map, la::Matrix& y,
+                   const TtmcOptions& options) {
+  const auto o = other_modes(x.order(), mode);
+  const auto idx_a = x.indices(o.m[0]);
+  const auto idx_b = x.indices(o.m[1]);
+  const auto values = x.values();
+  const la::Matrix& fa = factors[o.m[0]];
+  const la::Matrix& fb = factors[o.m[1]];
+  parallel_rows(nrows, options.schedule, [&](std::ptrdiff_t r) {
+    auto row = y.row(static_cast<std::size_t>(r));
+    std::fill(row.begin(), row.end(), 0.0);
+    for (nnz_t e : sym.update_list(map(r))) {
+      kron2_accumulate(values[e], fa.row(idx_a[e]), fb.row(idx_b[e]),
+                       row.data());
+    }
+  });
+}
+
+template <typename RowMap>
+void ttmc4_per_nnz(const CooTensor& x, const std::vector<la::Matrix>& factors,
+                   std::size_t mode, const ModeSymbolic& sym,
+                   std::ptrdiff_t nrows, RowMap map, la::Matrix& y,
+                   const TtmcOptions& options) {
+  const auto o = other_modes(x.order(), mode);
+  const auto idx_a = x.indices(o.m[0]);
+  const auto idx_b = x.indices(o.m[1]);
+  const auto idx_c = x.indices(o.m[2]);
+  const auto values = x.values();
+  const la::Matrix& fa = factors[o.m[0]];
+  const la::Matrix& fb = factors[o.m[1]];
+  const la::Matrix& fc = factors[o.m[2]];
+  parallel_rows(nrows, options.schedule, [&](std::ptrdiff_t r) {
+    auto row = y.row(static_cast<std::size_t>(r));
+    std::fill(row.begin(), row.end(), 0.0);
+    for (nnz_t e : sym.update_list(map(r))) {
+      kron3_accumulate(values[e], fa.row(idx_a[e]), fb.row(idx_b[e]),
+                       fc.row(idx_c[e]), row.data());
+    }
+  });
+}
+
+template <typename RowMap>
+void ttmc_general_per_nnz(const CooTensor& x,
+                          const std::vector<la::Matrix>& factors,
+                          std::size_t mode, const ModeSymbolic& sym,
+                          std::ptrdiff_t nrows, RowMap map, la::Matrix& y,
+                          const TtmcOptions& options) {
+  parallel_rows(nrows, options.schedule, [&](std::ptrdiff_t r) {
+    thread_local std::vector<double> scratch;
+    auto row = y.row(static_cast<std::size_t>(r));
+    std::fill(row.begin(), row.end(), 0.0);
+    for (nnz_t e : sym.update_list(map(r))) {
+      kron_general_accumulate(x, e, factors, mode, row, scratch);
+    }
+  });
+}
+
+// ---- fiber-factored kernels -----------------------------------------------
+
+// 3-mode: within a fiber every nonzero shares i_a, so the inner partial
+//   t[jb] += v * u_b(i_b, jb)                       (R_b flops per nonzero)
+// is expanded once per fiber as y += u_a(i_a, :) (x) t (R_a*R_b per fiber).
+template <typename RowMap>
+void ttmc3_fiber(const CooTensor& x, const std::vector<la::Matrix>& factors,
+                 std::size_t mode, const ModeSymbolic& sym,
+                 std::ptrdiff_t nrows, RowMap map, la::Matrix& y,
+                 const TtmcOptions& options) {
+  const auto o = other_modes(x.order(), mode);
+  const auto idx_a = x.indices(o.m[0]);
+  const auto idx_b = x.indices(o.m[1]);
+  const auto values = x.values();
+  const la::Matrix& fa = factors[o.m[0]];
+  const la::Matrix& fb = factors[o.m[1]];
+  const std::size_t rb = fb.cols();
+  parallel_rows(nrows, options.schedule, [&](std::ptrdiff_t r) {
+    thread_local std::vector<double> t;
+    t.resize(rb);
+    auto row = y.row(static_cast<std::size_t>(r));
+    std::fill(row.begin(), row.end(), 0.0);
+    const std::size_t cr = map(r);
+    for (nnz_t k = sym.fiber_row_ptr[cr]; k < sym.fiber_row_ptr[cr + 1]; ++k) {
+      const nnz_t begin = sym.fiber_ptr[k], end = sym.fiber_ptr[k + 1];
+      std::fill(t.begin(), t.end(), 0.0);
+      for (nnz_t i = begin; i < end; ++i) {
+        const nnz_t e = sym.nnz_order[i];
+        const double v = values[e];
+        const auto ub = fb.row(idx_b[e]);
+        for (std::size_t jb = 0; jb < rb; ++jb) t[jb] += v * ub[jb];
+      }
+      const auto ua = fa.row(idx_a[sym.nnz_order[begin]]);
+      for (std::size_t ja = 0; ja < ua.size(); ++ja) {
+        const double s = ua[ja];
+        double* yrow = row.data() + ja * rb;
+        for (std::size_t jb = 0; jb < rb; ++jb) yrow[jb] += s * t[jb];
+      }
+    }
+  });
+}
+
+// 4-mode, two-level: subfibers share (i_a, i_b) and accumulate
+//   t_c[jc] += v * u_c(i_c, jc)                     (R_c flops per nonzero),
+// expanded per subfiber into t_bc += u_b (x) t_c    (R_b*R_c per subfiber),
+// expanded per fiber into y += u_a (x) t_bc         (R_a*R_b*R_c per fiber).
+template <typename RowMap>
+void ttmc4_fiber(const CooTensor& x, const std::vector<la::Matrix>& factors,
+                 std::size_t mode, const ModeSymbolic& sym,
+                 std::ptrdiff_t nrows, RowMap map, la::Matrix& y,
+                 const TtmcOptions& options) {
+  const auto o = other_modes(x.order(), mode);
+  const auto idx_a = x.indices(o.m[0]);
+  const auto idx_b = x.indices(o.m[1]);
+  const auto idx_c = x.indices(o.m[2]);
+  const auto values = x.values();
+  const la::Matrix& fa = factors[o.m[0]];
+  const la::Matrix& fb = factors[o.m[1]];
+  const la::Matrix& fc = factors[o.m[2]];
+  const std::size_t rb = fb.cols(), rc = fc.cols();
+  parallel_rows(nrows, options.schedule, [&](std::ptrdiff_t r) {
+    thread_local std::vector<double> t_c, t_bc;
+    t_c.resize(rc);
+    t_bc.resize(rb * rc);
+    auto row = y.row(static_cast<std::size_t>(r));
+    std::fill(row.begin(), row.end(), 0.0);
+    const std::size_t cr = map(r);
+    for (nnz_t k = sym.fiber_row_ptr[cr]; k < sym.fiber_row_ptr[cr + 1]; ++k) {
+      std::fill(t_bc.begin(), t_bc.end(), 0.0);
+      for (nnz_t j = sym.subfiber_fiber_ptr[k]; j < sym.subfiber_fiber_ptr[k + 1];
+           ++j) {
+        const nnz_t begin = sym.subfiber_ptr[j], end = sym.subfiber_ptr[j + 1];
+        std::fill(t_c.begin(), t_c.end(), 0.0);
+        for (nnz_t i = begin; i < end; ++i) {
+          const nnz_t e = sym.nnz_order[i];
+          const double v = values[e];
+          const auto uc = fc.row(idx_c[e]);
+          for (std::size_t jc = 0; jc < rc; ++jc) t_c[jc] += v * uc[jc];
+        }
+        const auto ub = fb.row(idx_b[sym.nnz_order[begin]]);
+        for (std::size_t jb = 0; jb < rb; ++jb) {
+          const double s = ub[jb];
+          double* dst = t_bc.data() + jb * rc;
+          for (std::size_t jc = 0; jc < rc; ++jc) dst[jc] += s * t_c[jc];
+        }
+      }
+      const auto ua = fa.row(idx_a[sym.nnz_order[sym.fiber_ptr[k]]]);
+      for (std::size_t ja = 0; ja < ua.size(); ++ja) {
+        const double s = ua[ja];
+        double* yrow = row.data() + ja * rb * rc;
+        for (std::size_t jbc = 0; jbc < rb * rc; ++jbc) {
+          yrow[jbc] += s * t_bc[jbc];
+        }
+      }
+    }
+  });
+}
+
+// ---- dispatch --------------------------------------------------------------
+
+template <typename RowMap>
+void ttmc_dispatch(const CooTensor& x, const std::vector<la::Matrix>& factors,
+                   std::size_t mode, const ModeSymbolic& sym,
+                   std::ptrdiff_t nrows, RowMap map, la::Matrix& y,
+                   const TtmcOptions& options) {
+  const std::size_t order = x.order();
+  const TtmcKernel kernel = ttmc_selected_kernel(sym, order, options);
+  if (order == 3) {
+    if (kernel == TtmcKernel::kFiberFactored) {
+      ttmc3_fiber(x, factors, mode, sym, nrows, map, y, options);
+    } else {
+      ttmc3_per_nnz(x, factors, mode, sym, nrows, map, y, options);
+    }
+    return;
+  }
+  if (order == 4) {
+    if (kernel == TtmcKernel::kFiberFactored) {
+      ttmc4_fiber(x, factors, mode, sym, nrows, map, y, options);
+    } else {
+      ttmc4_per_nnz(x, factors, mode, sym, nrows, map, y, options);
+    }
+    return;
+  }
+  ttmc_general_per_nnz(x, factors, mode, sym, nrows, map, y, options);
+}
+
+void check_inputs(const CooTensor& x, const std::vector<la::Matrix>& factors,
+                  std::size_t mode) {
+  HT_CHECK_MSG(factors.size() == x.order(), "factor arity mismatch");
+  HT_CHECK(mode < x.order());
+  for (std::size_t t = 0; t < x.order(); ++t) {
+    HT_CHECK_MSG(factors[t].rows() == x.dim(t),
+                 "factor " << t << " has " << factors[t].rows()
+                           << " rows, mode size is " << x.dim(t));
+  }
+}
+
 }  // namespace
 
 std::size_t ttmc_row_width(const std::vector<la::Matrix>& factors,
@@ -96,6 +312,22 @@ std::size_t ttmc_row_width(const std::vector<la::Matrix>& factors,
     if (t != mode) width *= factors[t].cols();
   }
   return width;
+}
+
+TtmcKernel ttmc_selected_kernel(const ModeSymbolic& sym, std::size_t order,
+                                const TtmcOptions& options) {
+  const bool fiber_capable = (order == 3 || order == 4) && sym.has_fibers();
+  switch (options.kernel) {
+    case TtmcKernel::kPerNnz:
+      return TtmcKernel::kPerNnz;
+    case TtmcKernel::kFiberFactored:
+      return fiber_capable ? TtmcKernel::kFiberFactored : TtmcKernel::kPerNnz;
+    case TtmcKernel::kAuto:
+      break;
+  }
+  return fiber_capable && sym.avg_fiber_length() >= options.fiber_threshold
+             ? TtmcKernel::kFiberFactored
+             : TtmcKernel::kPerNnz;
 }
 
 void accumulate_kron(const CooTensor& x, nnz_t e,
@@ -123,69 +355,14 @@ void accumulate_kron(const CooTensor& x, nnz_t e,
 void ttmc_mode(const CooTensor& x, const std::vector<la::Matrix>& factors,
                std::size_t mode, const ModeSymbolic& sym, la::Matrix& y,
                const TtmcOptions& options) {
-  HT_CHECK_MSG(factors.size() == x.order(), "factor arity mismatch");
-  HT_CHECK(mode < x.order());
-  for (std::size_t t = 0; t < x.order(); ++t) {
-    HT_CHECK_MSG(factors[t].rows() == x.dim(t),
-                 "factor " << t << " has " << factors[t].rows()
-                           << " rows, mode size is " << x.dim(t));
-  }
-
+  check_inputs(x, factors, mode);
   const std::size_t width = ttmc_row_width(factors, mode);
-  const auto nrows = static_cast<std::ptrdiff_t>(sym.num_rows());
   if (y.rows() != sym.num_rows() || y.cols() != width) {
     y.resize_zero(sym.num_rows(), width);
   }
-
-  const std::size_t order = x.order();
-
-  if (order == 3) {
-    const auto o = other_modes(order, mode);
-    const auto idx_a = x.indices(o.m[0]);
-    const auto idx_b = x.indices(o.m[1]);
-    const auto values = x.values();
-    const la::Matrix& fa = factors[o.m[0]];
-    const la::Matrix& fb = factors[o.m[1]];
-    parallel_rows(nrows, options.schedule, [&](std::ptrdiff_t r) {
-      auto row = y.row(static_cast<std::size_t>(r));
-      std::fill(row.begin(), row.end(), 0.0);
-      for (nnz_t e : sym.update_list(static_cast<std::size_t>(r))) {
-        kron2_accumulate(values[e], fa.row(idx_a[e]), fb.row(idx_b[e]),
-                         row.data());
-      }
-    });
-    return;
-  }
-
-  if (order == 4) {
-    const auto o = other_modes(order, mode);
-    const auto idx_a = x.indices(o.m[0]);
-    const auto idx_b = x.indices(o.m[1]);
-    const auto idx_c = x.indices(o.m[2]);
-    const auto values = x.values();
-    const la::Matrix& fa = factors[o.m[0]];
-    const la::Matrix& fb = factors[o.m[1]];
-    const la::Matrix& fc = factors[o.m[2]];
-    parallel_rows(nrows, options.schedule, [&](std::ptrdiff_t r) {
-      auto row = y.row(static_cast<std::size_t>(r));
-      std::fill(row.begin(), row.end(), 0.0);
-      for (nnz_t e : sym.update_list(static_cast<std::size_t>(r))) {
-        kron3_accumulate(values[e], fa.row(idx_a[e]), fb.row(idx_b[e]),
-                         fc.row(idx_c[e]), row.data());
-      }
-    });
-    return;
-  }
-
-  // General N: per-thread scratch buffer for the Kronecker expansion.
-  parallel_rows(nrows, options.schedule, [&](std::ptrdiff_t r) {
-    thread_local std::vector<double> scratch;
-    auto row = y.row(static_cast<std::size_t>(r));
-    std::fill(row.begin(), row.end(), 0.0);
-    for (nnz_t e : sym.update_list(static_cast<std::size_t>(r))) {
-      kron_general_accumulate(x, e, factors, mode, row, scratch);
-    }
-  });
+  ttmc_dispatch(x, factors, mode, sym,
+                static_cast<std::ptrdiff_t>(sym.num_rows()), IdentityRowMap{},
+                y, options);
 }
 
 void ttmc_mode_subset(const CooTensor& x,
@@ -193,65 +370,27 @@ void ttmc_mode_subset(const CooTensor& x,
                       const ModeSymbolic& sym,
                       std::span<const std::uint32_t> positions, la::Matrix& y,
                       const TtmcOptions& options) {
-  HT_CHECK_MSG(factors.size() == x.order(), "factor arity mismatch");
-  HT_CHECK(mode < x.order());
+  check_inputs(x, factors, mode);
+
+#ifndef NDEBUG
+  // Debug-only: dist_hooi calls this once per mode per HOOI iteration with
+  // plan-derived positions that are fixed at plan construction; an
+  // O(|positions|) per-call scan would serialize the hot loop for nothing.
+  // In Release an out-of-range position is undefined behavior (the row loop
+  // reads fiber_row_ptr/row_ptr past the end) — callers own the contract,
+  // and CI's Debug job keeps this check live.
   for (std::uint32_t p : positions) {
     HT_CHECK_MSG(p < sym.num_rows(), "subset position out of range");
   }
+#endif
 
+  const auto npos = static_cast<std::ptrdiff_t>(positions.size());
   const std::size_t width = ttmc_row_width(factors, mode);
   if (y.rows() != positions.size() || y.cols() != width) {
     y.resize_zero(positions.size(), width);
   }
-  const auto nrows = static_cast<std::ptrdiff_t>(positions.size());
-  const std::size_t order = x.order();
-
-  if (order == 3) {
-    const auto o = other_modes(order, mode);
-    const auto idx_a = x.indices(o.m[0]);
-    const auto idx_b = x.indices(o.m[1]);
-    const auto values = x.values();
-    const la::Matrix& fa = factors[o.m[0]];
-    const la::Matrix& fb = factors[o.m[1]];
-    parallel_rows(nrows, options.schedule, [&](std::ptrdiff_t r) {
-      auto row = y.row(static_cast<std::size_t>(r));
-      std::fill(row.begin(), row.end(), 0.0);
-      for (nnz_t e : sym.update_list(positions[static_cast<std::size_t>(r)])) {
-        kron2_accumulate(values[e], fa.row(idx_a[e]), fb.row(idx_b[e]),
-                         row.data());
-      }
-    });
-    return;
-  }
-
-  if (order == 4) {
-    const auto o = other_modes(order, mode);
-    const auto idx_a = x.indices(o.m[0]);
-    const auto idx_b = x.indices(o.m[1]);
-    const auto idx_c = x.indices(o.m[2]);
-    const auto values = x.values();
-    const la::Matrix& fa = factors[o.m[0]];
-    const la::Matrix& fb = factors[o.m[1]];
-    const la::Matrix& fc = factors[o.m[2]];
-    parallel_rows(nrows, options.schedule, [&](std::ptrdiff_t r) {
-      auto row = y.row(static_cast<std::size_t>(r));
-      std::fill(row.begin(), row.end(), 0.0);
-      for (nnz_t e : sym.update_list(positions[static_cast<std::size_t>(r)])) {
-        kron3_accumulate(values[e], fa.row(idx_a[e]), fb.row(idx_b[e]),
-                         fc.row(idx_c[e]), row.data());
-      }
-    });
-    return;
-  }
-
-  parallel_rows(nrows, options.schedule, [&](std::ptrdiff_t r) {
-    thread_local std::vector<double> scratch;
-    auto row = y.row(static_cast<std::size_t>(r));
-    std::fill(row.begin(), row.end(), 0.0);
-    for (nnz_t e : sym.update_list(positions[static_cast<std::size_t>(r)])) {
-      kron_general_accumulate(x, e, factors, mode, row, scratch);
-    }
-  });
+  ttmc_dispatch(x, factors, mode, sym, npos, SubsetRowMap{positions}, y,
+                options);
 }
 
 }  // namespace ht::core

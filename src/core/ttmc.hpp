@@ -6,6 +6,18 @@
 // with one dense row of width prod_{t != n} R_t per non-empty row i in J_n.
 // Rows are independent (single writer), so the loop is a lock-free OpenMP
 // parfor; the paper uses dynamic scheduling to absorb slice-size skew.
+//
+// Two kernel families are provided per mode:
+//   per-nnz:        every nonzero pays the full Kronecker-row expansion
+//                   (R_a*R_b flops for 3-mode, R_a*R_b*R_c for 4-mode);
+//   fiber-factored: nonzeros sharing the leading other-mode index (one
+//                   tensor fiber, see the symbolic fiber index) accumulate
+//                   the inner partial t[jb] += v*u_b[jb] at R_b flops each,
+//                   and the fiber expands y += u_a (x) t once — for 4-mode,
+//                   two-level factoring y += u_a (x) (u_b (x) t).
+// TtmcKernel::kAuto picks fiber-factored when the mode's average fiber
+// length clears TtmcOptions::fiber_threshold, falling back to per-nnz on
+// fiber-sparse inputs where the per-fiber expansion would not amortize.
 #pragma once
 
 #include <cstddef>
@@ -19,9 +31,24 @@ namespace ht::core {
 
 enum class Schedule { kDynamic, kStatic };
 
+/// Numeric kernel family. kFiberFactored silently degrades to per-nnz when
+/// the symbolic structure carries no fiber index (orders other than 3/4, or
+/// built with with_fibers = false).
+enum class TtmcKernel { kAuto, kPerNnz, kFiberFactored };
+
 struct TtmcOptions {
   Schedule schedule = Schedule::kDynamic;
+  TtmcKernel kernel = TtmcKernel::kAuto;
+  /// kAuto selects the fiber-factored kernel when the mode's average fiber
+  /// length (ModeSymbolic::avg_fiber_length) is at least this. Below it the
+  /// per-fiber expansion does not amortize over enough nonzeros to win.
+  double fiber_threshold = 2.0;
 };
+
+/// The kernel kAuto (or an explicit request) resolves to for this mode.
+/// Exposed for benches and tests that assert on the heuristic.
+TtmcKernel ttmc_selected_kernel(const ModeSymbolic& sym, std::size_t order,
+                                const TtmcOptions& options);
 
 /// Width of Y(n) rows: product of factor column counts over modes != n.
 std::size_t ttmc_row_width(const std::vector<la::Matrix>& factors,

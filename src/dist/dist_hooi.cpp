@@ -262,7 +262,9 @@ DistHooiResult dist_hooi(const CooTensor& x, const DistHooiOptions& options,
   }
 
   const double x_norm2 = x.norm2_squared();
-  const core::TtmcOptions ttmc_options{options.ttmc_schedule};
+  const core::TtmcOptions ttmc_options{options.ttmc_schedule,
+                                       options.ttmc_kernel,
+                                       options.ttmc_fiber_threshold};
   const tensor::Shape core_shape(options.ranks.begin(), options.ranks.end());
 
   smp::run_spmd(p, [&](smp::Communicator& comm) {
@@ -271,7 +273,9 @@ DistHooiResult dist_hooi(const CooTensor& x, const DistHooiOptions& options,
     parallel::ThreadScope threads(options.threads_per_rank);
 
     WallTimer t_symbolic;
-    const core::SymbolicTtmc symbolic = core::SymbolicTtmc::build(rp.local);
+    const core::SymbolicTtmc symbolic = core::SymbolicTtmc::build(
+        rp.local,
+        /*with_fibers=*/options.ttmc_kernel != core::TtmcKernel::kPerNnz);
     core::HooiTimers timers;
     timers.symbolic = t_symbolic.seconds();
 

@@ -49,6 +49,10 @@ struct DistHooiOptions {
   int threads_per_rank = 0;
   std::uint64_t seed = 42;
   core::Schedule ttmc_schedule = core::Schedule::kDynamic;
+  /// TTMc kernel family for the per-rank local kernels (both grains);
+  /// kAuto applies the fiber-length heuristic to each rank's local tensor.
+  core::TtmcKernel ttmc_kernel = core::TtmcKernel::kAuto;
+  double ttmc_fiber_threshold = core::TtmcOptions{}.fiber_threshold;
   /// Inner-solver controls; defaults match core::HooiOptions.
   la::TrsvdOptions trsvd = {.tol = 1e-7};
   /// Hypergraph partitioner imbalance tolerance (plan construction only).

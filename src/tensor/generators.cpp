@@ -188,6 +188,31 @@ CooTensor random_zipf_communities(const Shape& shape, nnz_t target_nnz,
   return x;
 }
 
+CooTensor random_fibered(const Shape& shape, nnz_t num_fibers,
+                         index_t fiber_len, std::uint64_t seed) {
+  HT_CHECK_MSG(shape.size() >= 2, "fibered tensors need at least two modes");
+  HT_CHECK_MSG(fiber_len >= 1 && fiber_len <= shape.back(),
+               "fiber_len must be in [1, last mode size]");
+  const std::size_t order = shape.size();
+  Rng rng(seed ^ 0xf1be7f1be7f1be70ULL);
+  CooTensor x(shape);
+  x.reserve(num_fibers * fiber_len);
+  std::vector<index_t> coord(order);
+  for (nnz_t f = 0; f < num_fibers; ++f) {
+    for (std::size_t n = 0; n + 1 < order; ++n) {
+      coord[n] = static_cast<index_t>(rng.below(shape[n]));
+    }
+    const auto start =
+        static_cast<index_t>(rng.below(shape.back() - fiber_len + 1));
+    for (index_t k = 0; k < fiber_len; ++k) {
+      coord[order - 1] = start + k;
+      x.push_back(coord, rng.uniform());
+    }
+  }
+  x.sum_duplicates();
+  return x;
+}
+
 void plant_low_rank_values(CooTensor& x, std::size_t cp_rank,
                            double noise_level, std::uint64_t seed) {
   HT_CHECK(cp_rank >= 1);

@@ -36,6 +36,16 @@ CooTensor random_zipf_communities(const Shape& shape, nnz_t target_nnz,
                                   std::size_t communities, double affinity,
                                   std::uint64_t seed);
 
+/// Fiber-structured tensor: `num_fibers` random last-mode fibers, each
+/// holding a contiguous run of `fiber_len` nonzeros (all indices fixed
+/// except the last mode). Average fiber length as seen by the TTMc fiber
+/// index is therefore ~`fiber_len` for every mode whose leading other mode
+/// is not the last — the regime the fiber-factored kernels target.
+/// Duplicate fibers are summed, so the nonzero count can land slightly
+/// below num_fibers * fiber_len. Values are uniform in [0, 1).
+CooTensor random_fibered(const Shape& shape, nnz_t num_fibers,
+                         index_t fiber_len, std::uint64_t seed);
+
 /// Overwrite the values of `x` with a rank-`cp_rank` CP model evaluated at
 /// each coordinate, plus Gaussian noise of the given relative magnitude.
 void plant_low_rank_values(CooTensor& x, std::size_t cp_rank,

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -42,9 +43,24 @@ bool parse_line(const std::string& line, std::size_t expected_order,
   }
 
   out.idx.clear();
+  // The largest usable 1-based index: mode sizes are index_t themselves, so
+  // a 1-based index above max(index_t) can never satisfy a shape check (and
+  // would wrap shape inference's dim = idx + 1 to zero). Values this small
+  // are exactly representable in a double, so checking the range first also
+  // rejects every magnitude where a double has already lost integer
+  // precision (>= 2^53), and makes the integrality cast below safe (casting
+  // an out-of-range double to integer is UB).
+  constexpr double kMaxIndex =
+      static_cast<double>(std::numeric_limits<index_t>::max());
   for (std::size_t n = 0; n + 1 < fields.size(); ++n) {
     const double v = fields[n];
-    if (v < 1 || v != static_cast<double>(static_cast<std::uint64_t>(v))) {
+    if (v < 1 || v > kMaxIndex) {
+      throw IoError("line " + std::to_string(line_no) + ": index " +
+                    std::to_string(v) + " out of range [1, " +
+                    std::to_string(static_cast<std::uint64_t>(kMaxIndex)) +
+                    "]");
+    }
+    if (v != static_cast<double>(static_cast<std::uint64_t>(v))) {
       throw IoError("line " + std::to_string(line_no) +
                     ": indices must be positive integers (1-based)");
     }
@@ -165,6 +181,26 @@ CooTensor read_binary_file(const std::string& path) {
   Shape shape(order);
   for (auto& d : shape) d = read_pod<std::uint32_t>(in);
   const auto nnz = read_pod<std::uint64_t>(in);
+
+  // Validate the declared payload against the bytes actually present before
+  // trusting nnz for allocation: a corrupt or truncated header would
+  // otherwise drive a multi-GB allocation (or bad_alloc) instead of a clean
+  // IoError.
+  const std::streamoff header_end = in.tellg();
+  in.seekg(0, std::ios::end);
+  const std::streamoff file_end = in.tellg();
+  in.seekg(header_end, std::ios::beg);
+  if (header_end < 0 || file_end < header_end) {
+    throw IoError("cannot determine payload size of " + path);
+  }
+  const auto available = static_cast<std::uint64_t>(file_end - header_end);
+  const std::uint64_t bytes_per_nnz =
+      order * sizeof(index_t) + sizeof(value_t);
+  if (nnz > available / bytes_per_nnz) {
+    throw IoError("header of " + path + " declares " + std::to_string(nnz) +
+                  " nonzeros but only " + std::to_string(available) +
+                  " payload bytes are present");
+  }
 
   CooTensor x(shape);
   x.reserve(nnz);

@@ -73,6 +73,29 @@ TEST(TnsIoTest, RejectsFractionalIndices) {
   EXPECT_THROW(ht::tensor::read_tns(in), ht::IoError);
 }
 
+// Regression: indices that do not fit index_t used to be truncated through
+// static_cast (2^32 + 1 silently became index 0) instead of raising IoError.
+TEST(TnsIoTest, RejectsIndexOverflowingIndexType) {
+  std::istringstream in("4294967297 1 2.0\n");  // 2^32 + 1
+  EXPECT_THROW(ht::tensor::read_tns(in), ht::IoError);
+}
+
+// Regression: indices at or beyond 2^53 lose integer precision in the
+// double-based parser; they must be rejected, not rounded and truncated.
+TEST(TnsIoTest, RejectsIndexBeyondDoublePrecision) {
+  std::istringstream in("9007199254740993 1 2.0\n");  // 2^53 + 1
+  EXPECT_THROW(ht::tensor::read_tns(in), ht::IoError);
+}
+
+TEST(TnsIoTest, AcceptsLargestRepresentableIndex) {
+  // 1-based 2^32 - 1 is the largest index that can also satisfy a shape
+  // check (mode sizes are index_t themselves).
+  std::istringstream in("4294967295 1 2.0\n");
+  const CooTensor x = ht::tensor::read_tns(in, Shape{4294967295u, 1});
+  ASSERT_EQ(x.nnz(), 1u);
+  EXPECT_EQ(x.index(0, 0), 4294967294u);
+}
+
 TEST(TnsIoTest, TextRoundTrip) {
   CooTensor x(Shape{4, 6, 3});
   x.push_back(std::vector<index_t>{0, 5, 2}, 1.5);
@@ -131,6 +154,45 @@ TEST(BinaryIoTest, RejectsTruncatedFile) {
   std::ofstream out(f.path(), std::ios::binary | std::ios::trunc);
   out.write(content.data(), static_cast<std::streamsize>(content.size() / 2));
   out.close();
+  EXPECT_THROW(ht::tensor::read_binary_file(f.path()), ht::IoError);
+}
+
+// Regression: a corrupt header declaring an absurd nonzero count used to be
+// trusted for allocation (throwing std::length_error / bad_alloc — or worse,
+// attempting a multi-TB allocation) before any payload validation ran.
+TEST(BinaryIoTest, RejectsHeaderDeclaringMoreDataThanPresent) {
+  TempFile f("bin4");
+  {
+    std::ofstream out(f.path(), std::ios::binary);
+    out << "HTNSB1";
+    const std::uint64_t order = 3;
+    out.write(reinterpret_cast<const char*>(&order), sizeof order);
+    const std::uint32_t dim = 10;
+    for (int n = 0; n < 3; ++n) {
+      out.write(reinterpret_cast<const char*>(&dim), sizeof dim);
+    }
+    const std::uint64_t nnz = 1ULL << 61;  // ~46 exabytes of payload
+    out.write(reinterpret_cast<const char*>(&nnz), sizeof nnz);
+    const double lonely_value = 1.0;
+    out.write(reinterpret_cast<const char*>(&lonely_value),
+              sizeof lonely_value);
+  }
+  EXPECT_THROW(ht::tensor::read_binary_file(f.path()), ht::IoError);
+}
+
+// Same class of bug at a size small enough to allocate: the declared nnz
+// exceeds the payload actually present, which must be a clean IoError.
+TEST(BinaryIoTest, RejectsOverdeclaredNnz) {
+  const CooTensor x = ht::tensor::random_uniform(Shape{10, 10}, 50, 9);
+  TempFile f("bin5");
+  ht::tensor::write_binary_file(f.path(), x);
+  // Patch the header nnz (offset: magic 6 + order 8 + shape 2*4) upward.
+  std::fstream io(f.path(),
+                  std::ios::binary | std::ios::in | std::ios::out);
+  io.seekp(6 + 8 + 2 * 4, std::ios::beg);
+  const std::uint64_t inflated = x.nnz() + 1;
+  io.write(reinterpret_cast<const char*>(&inflated), sizeof inflated);
+  io.close();
   EXPECT_THROW(ht::tensor::read_binary_file(f.path()), ht::IoError);
 }
 
