@@ -9,11 +9,19 @@
 //   4. per-nnz vs fiber-factored TTMc kernels across fiber-length regimes,
 //      and what the kAuto heuristic picks in each (the perf-trajectory
 //      entry: fiber factoring must win on fiber-dense tensors and kAuto
-//      must not regress fiber-sparse ones).
+//      must not regress fiber-sparse ones);
+//   5. direct vs dimension-tree-served TTMc per HOOI iteration, and what
+//      the TtmcStrategy::kAuto cost model picks (perf-trajectory entry:
+//      tree-serving must win on merge-heavy tensors and kAuto must stay
+//      within noise of direct everywhere).
+//
+// With --json PATH, every arm also appends machine-readable records so CI
+// publishes BENCH_ablation.json instead of hand-copied tables.
 #include <algorithm>
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "core/dim_tree.hpp"
 #include "core/hooi.hpp"
 #include "core/hosvd.hpp"
 #include "core/symbolic.hpp"
@@ -42,7 +50,7 @@ double time_ttmc_mode(const ht::tensor::CooTensor& x,
   return best;
 }
 
-void fiber_kernel_ablation(bool smoke) {
+void fiber_kernel_ablation(bool smoke, htb::JsonReport& report) {
   using namespace ht;
   std::printf("=== Ablation 4: per-nnz vs fiber-factored TTMc ===\n");
   const tensor::nnz_t target_nnz = smoke ? 20000 : 2000000;
@@ -74,6 +82,16 @@ void fiber_kernel_ablation(bool smoke) {
     std::printf("%-10u %10.2f %12.4f %12.4f %8.2fx %6s\n", fiber_len,
                 sym.modes[0].avg_fiber_length(), t_nnz, t_fib, t_nnz / t_fib,
                 picked == core::TtmcKernel::kFiberFactored ? "fiber" : "nnz");
+    report.add()
+        .str("arm", "fiber_kernel")
+        .num("fiber_len", fiber_len)
+        .num("nnz", static_cast<double>(x.nnz()))
+        .num("avg_fiber_length", sym.modes[0].avg_fiber_length())
+        .num("t_per_nnz_s", t_nnz)
+        .num("t_fiber_s", t_fib)
+        .num("speedup", t_nnz / t_fib)
+        .str("auto_pick",
+             picked == core::TtmcKernel::kFiberFactored ? "fiber" : "nnz");
   }
 
   // kAuto on the singleton-fiber mode: must match per-nnz within noise.
@@ -90,17 +108,130 @@ void fiber_kernel_ablation(bool smoke) {
     std::printf("fiber-sparse kAuto fallback: per-nnz %.4fs vs auto %.4fs "
                 "(%.2fx)\n\n",
                 t_nnz, t_auto, t_nnz / t_auto);
+    report.add()
+        .str("arm", "fiber_kernel_auto_fallback")
+        .num("t_per_nnz_s", t_nnz)
+        .num("t_auto_s", t_auto)
+        .num("auto_vs_direct", t_nnz / t_auto);
   }
+}
+
+// Time one HOOI iteration's worth of TTMc per strategy — a full sweep over
+// all modes through the scheduler, which reproduces HOOI's partial
+// build/invalidate pattern (each partial built once per sweep, rebuilt next
+// sweep). Strategies are timed *interleaved* (direct, tree, auto, repeat)
+// so machine drift hits all three alike; best of `reps` after a warm-up
+// sweep that pays one-time setup (leaf value gathers, buffer growth).
+std::vector<double> time_ttmc_sweeps(
+    const ht::tensor::CooTensor& x, const ht::core::SymbolicTtmc& sym,
+    const ht::core::DimTreePlan* tree,
+    const std::vector<ht::la::Matrix>& factors,
+    const std::vector<ht::tensor::index_t>& ranks,
+    const std::vector<ht::core::TtmcStrategy>& strategies, int reps) {
+  std::vector<ht::core::TtmcScheduler> schedulers;
+  schedulers.reserve(strategies.size());
+  ht::la::Matrix y;
+  for (const auto strategy : strategies) {
+    ht::core::TtmcOptions opts;
+    opts.strategy = strategy;
+    schedulers.emplace_back(x, sym, tree, ranks, opts);
+    for (std::size_t n = 0; n < x.order(); ++n) {
+      schedulers.back().compute(factors, n, y);
+    }
+  }
+  std::vector<double> best(strategies.size(), 1e300);
+  for (int rep = 0; rep < reps; ++rep) {
+    for (std::size_t s = 0; s < schedulers.size(); ++s) {
+      ht::WallTimer t;
+      for (std::size_t n = 0; n < x.order(); ++n) {
+        schedulers[s].compute(factors, n, y);
+      }
+      best[s] = std::min(best[s], t.seconds());
+    }
+  }
+  return best;
+}
+
+void tree_scheduler_ablation(bool smoke, htb::JsonReport& report) {
+  using namespace ht;
+  std::printf("=== Ablation 5: direct vs dimension-tree-served TTMc ===\n");
+
+  struct Arm {
+    std::string name;
+    tensor::Shape shape;
+    tensor::nnz_t nnz;
+    tensor::index_t rank;
+  };
+  // Merge-heavy tensors (small dims relative to nnz: every pair projection
+  // saturates), the regime real recommender/NLP tensors sit in, plus one
+  // scatter arm where the tree cannot win and kAuto must hold the line.
+  std::vector<Arm> arms;
+  if (smoke) {
+    arms.push_back({"3mode_merged", {36, 36, 36}, 40000, 10});
+    arms.push_back({"4mode_merged", {14, 14, 14, 14}, 30000, 5});
+    arms.push_back({"3mode_scattered", {300, 300, 300}, 30000, 10});
+  } else {
+    arms.push_back({"3mode_merged", {150, 150, 150}, 2000000, 10});
+    arms.push_back({"4mode_merged", {40, 40, 40, 40}, 2000000, 5});
+    arms.push_back({"3mode_scattered", {3000, 3000, 5000}, 2000000, 10});
+  }
+  const int reps = smoke ? 1 : 3;
+
+  std::printf("%-16s %9s %10s %10s %10s %9s %9s  %s\n", "tensor", "nnz",
+              "direct(s)", "tree(s)", "auto(s)", "tree_spd", "auto_spd",
+              "auto picks");
+  for (const Arm& arm : arms) {
+    const auto x = tensor::random_uniform(arm.shape, arm.nnz, 111);
+    const std::vector<tensor::index_t> ranks(x.order(), arm.rank);
+    const core::SymbolicTtmc sym = core::SymbolicTtmc::build(x);
+    const core::DimTreePlan tree = core::DimTreePlan::build(x);
+    const auto factors = core::random_orthonormal_factors(x.shape(), ranks, 7);
+
+    const std::vector<double> times = time_ttmc_sweeps(
+        x, sym, &tree, factors, ranks,
+        {core::TtmcStrategy::kDirect, core::TtmcStrategy::kTree,
+         core::TtmcStrategy::kAuto},
+        reps);
+    const double t_direct = times[0], t_tree = times[1], t_auto = times[2];
+
+    core::TtmcOptions auto_opts;
+    const core::TtmcScheduler chooser(x, sym, &tree, ranks, auto_opts);
+    std::string picks;
+    for (std::size_t n = 0; n < x.order(); ++n) {
+      picks += chooser.selected(n) == core::TtmcStrategy::kTree ? 't' : 'd';
+    }
+
+    std::printf("%-16s %9llu %10.4f %10.4f %10.4f %8.2fx %8.2fx  %s\n",
+                arm.name.c_str(),
+                static_cast<unsigned long long>(x.nnz()), t_direct, t_tree,
+                t_auto, t_direct / t_tree, t_direct / t_auto, picks.c_str());
+    report.add()
+        .str("arm", "tree_scheduler")
+        .str("tensor", arm.name)
+        .num("order", static_cast<double>(x.order()))
+        .num("nnz", static_cast<double>(x.nnz()))
+        .num("rank", arm.rank)
+        .num("t_direct_s", t_direct)
+        .num("t_tree_s", t_tree)
+        .num("t_auto_s", t_auto)
+        .num("tree_speedup", t_direct / t_tree)
+        .num("auto_speedup", t_direct / t_auto)
+        .str("auto_picks", picks);
+  }
+  std::printf("\n");
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ht;
 
-  fiber_kernel_ablation(htb::bench_smoke());
+  htb::JsonReport report(htb::json_path_from_args(argc, argv));
+  fiber_kernel_ablation(htb::bench_smoke(), report);
+  tree_scheduler_ablation(htb::bench_smoke(), report);
   if (htb::bench_smoke()) {
     std::printf("[smoke] skipping ablations 1-3 (HT_SMOKE=1)\n");
+    report.write();
     return 0;
   }
 
@@ -110,8 +241,12 @@ int main() {
 
   // ---- 1. symbolic reuse --------------------------------------------------
   std::printf("=== Ablation 1: symbolic TTMc reuse ===\n");
+  // The reusable preprocessing is the symbolic update lists *and* the
+  // dimension-tree plan (both pattern-only); the reuse arms below pass both
+  // to the 4-arg hooi so no per-call plan rebuild pollutes the numbers.
   WallTimer t_sym;
   const core::SymbolicTtmc symbolic = core::SymbolicTtmc::build(x);
+  const core::DimTreePlan tree = core::DimTreePlan::build(x);
   const double sym_s = t_sym.seconds();
 
   core::HooiOptions options;
@@ -119,11 +254,16 @@ int main() {
   options.max_iterations = htb::bench_iters();
   options.fit_tolerance = 0.0;
   WallTimer t_iters;
-  const auto run = core::hooi(x, options, symbolic);
+  const auto run = core::hooi(x, options, symbolic, &tree);
   const double per_iter = t_iters.seconds() / run.iterations;
   std::printf("symbolic build: %.3fs; numeric iteration: %.3fs "
               "(symbolic pays for itself after %.1f iterations)\n",
               sym_s, per_iter, sym_s / per_iter);
+  report.add()
+      .str("arm", "symbolic_reuse")
+      .num("symbolic_s", sym_s)
+      .num("iteration_s", per_iter)
+      .num("breakeven_iterations", sym_s / per_iter);
 
   // Reuse across rank choices (paper: "computed once and used for all
   // these executions").
@@ -132,7 +272,7 @@ int main() {
     core::HooiOptions o = options;
     o.ranks.assign(x.order(), r);
     o.max_iterations = 2;
-    (void)core::hooi(x, o, symbolic);
+    (void)core::hooi(x, o, symbolic, &tree);
   }
   const double reuse_s = t_reuse.seconds();
   WallTimer t_rebuild;
@@ -145,6 +285,11 @@ int main() {
   const double rebuild_s = t_rebuild.seconds();
   std::printf("3 rank sweeps: reuse %.2fs vs rebuild %.2fs (%.2fx)\n\n",
               reuse_s, rebuild_s, rebuild_s / reuse_s);
+  report.add()
+      .str("arm", "symbolic_reuse_sweep")
+      .num("reuse_s", reuse_s)
+      .num("rebuild_s", rebuild_s)
+      .num("speedup", rebuild_s / reuse_s);
 
   // ---- 2. dynamic vs static scheduling -----------------------------------
   std::printf("=== Ablation 2: TTMc row-loop scheduling (skewed tensor) ===\n");
@@ -152,7 +297,7 @@ int main() {
   {
     core::HooiOptions o = options;
     o.max_iterations = 1;
-    factors = core::hooi(x, o, symbolic).decomposition.factors;
+    factors = core::hooi(x, o, symbolic, &tree).decomposition.factors;
   }
   for (const auto schedule :
        {core::Schedule::kDynamic, core::Schedule::kStatic}) {
@@ -167,6 +312,12 @@ int main() {
     std::printf("%s: %.3fs for %d full TTMc sweeps\n",
                 schedule == core::Schedule::kDynamic ? "dynamic" : "static ",
                 t.seconds(), reps);
+    report.add()
+        .str("arm", "schedule")
+        .str("schedule",
+             schedule == core::Schedule::kDynamic ? "dynamic" : "static")
+        .num("seconds", t.seconds())
+        .num("sweeps", reps);
   }
   std::printf("\n");
 
@@ -182,6 +333,14 @@ int main() {
     std::printf("%s: %.3fs (sigma_1 = %.4f, steps = %zu)\n",
                 method == core::TrsvdMethod::kLanczos ? "lanczos" : "gram   ",
                 t.seconds(), res.sigma[0], res.solver_steps);
+    report.add()
+        .str("arm", "trsvd_method")
+        .str("method",
+             method == core::TrsvdMethod::kLanczos ? "lanczos" : "gram")
+        .num("seconds", t.seconds())
+        .num("sigma_1", res.sigma[0])
+        .num("steps", static_cast<double>(res.solver_steps));
   }
+  report.write();
   return 0;
 }

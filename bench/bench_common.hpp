@@ -10,7 +10,9 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "tensor/generators.hpp"
@@ -20,6 +22,87 @@
 #include "util/timer.hpp"
 
 namespace htb {
+
+// ---- machine-readable output (--json out.json) ----------------------------
+//
+// Benches accumulate flat records and write one JSON array so CI publishes
+// the perf trajectory (BENCH_*.json artifacts) instead of hand-copied
+// tables. Deliberately minimal: flat string/number fields only.
+
+class JsonReport {
+ public:
+  class Record {
+   public:
+    Record& num(const std::string& key, double value) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.9g", value);
+      fields_.emplace_back(key, buf);
+      return *this;
+    }
+    Record& str(const std::string& key, const std::string& value) {
+      std::string quoted = "\"";
+      for (char c : value) {
+        if (c == '"' || c == '\\') quoted += '\\';
+        quoted += c;
+      }
+      quoted += '"';
+      fields_.emplace_back(key, std::move(quoted));
+      return *this;
+    }
+
+   private:
+    friend class JsonReport;
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  /// Empty path disables recording (records are still collected, cheaply).
+  explicit JsonReport(std::string path) : path_(std::move(path)) {}
+
+  Record& add() { return records_.emplace_back(); }
+
+  /// Write the array if a path was given; returns whether a file was
+  /// written.
+  bool write() const {
+    if (path_.empty()) return false;
+    std::ofstream out(path_);
+    if (!out.is_open()) {
+      std::fprintf(stderr, "[bench] cannot open %s for writing\n",
+                   path_.c_str());
+      return false;
+    }
+    out << "[\n";
+    for (std::size_t r = 0; r < records_.size(); ++r) {
+      out << "  {";
+      const auto& fields = records_[r].fields_;
+      for (std::size_t f = 0; f < fields.size(); ++f) {
+        out << '"' << fields[f].first << "\": " << fields[f].second;
+        if (f + 1 < fields.size()) out << ", ";
+      }
+      out << (r + 1 < records_.size() ? "},\n" : "}\n");
+    }
+    out << "]\n";
+    out.flush();
+    if (!out.good()) {
+      std::fprintf(stderr, "[bench] write to %s failed\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(stderr, "[bench] wrote %zu records to %s\n", records_.size(),
+                 path_.c_str());
+    return true;
+  }
+
+ private:
+  std::string path_;
+  std::vector<Record> records_;
+};
+
+/// Path following a `--json` flag, or empty when absent.
+inline std::string json_path_from_args(int argc, char** argv) {
+  for (int a = 1; a + 1 < argc; ++a) {
+    if (std::string(argv[a]) == "--json") return argv[a + 1];
+  }
+  return {};
+}
 
 inline double bench_scale(double fallback = 0.5) {
   return ht::env_double("HT_SCALE", fallback);

@@ -6,15 +6,18 @@
 // Expected shape: TTMc dominates for most tensors; TRSVD's share grows with
 // huge-mode tensors and dominates Netflix-like shapes at scale; the core
 // step is negligible.
+// With --json PATH, the per-tensor shares (and absolute seconds) are also
+// written as machine-readable records for the CI perf trajectory.
 #include <cstdio>
 
 #include "bench_common.hpp"
 #include "core/symbolic.hpp"
 #include "dist/dist_hooi.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ht;
 
+  htb::JsonReport report(htb::json_path_from_args(argc, argv));
   htb::enable_network_model_default();
   const int p = htb::bench_nprocs();
   const int iters = htb::bench_iters();
@@ -23,13 +26,15 @@ int main() {
       "iterations ===\n",
       p, iters);
 
-  TextTable table({"step", "netflix", "nell", "delicious", "flickr"});
+  std::vector<std::string> header = {"step"};
+  for (const auto& name : htb::bench_tensors()) header.push_back(name);
+  TextTable table(header);
   std::vector<std::string> row_ttmc = {"TTMc"};
   std::vector<std::string> row_trsvd = {"TRSVD+comm"};
   std::vector<std::string> row_core = {"core+comm"};
   std::vector<std::string> row_symbolic = {"symbolic (of total)"};
 
-  for (const auto& name : {"netflix", "nell", "delicious", "flickr"}) {
+  for (const auto& name : htb::bench_tensors()) {
     const auto bt = htb::load_preset(name);
 
     dist::DistHooiOptions options;
@@ -64,6 +69,21 @@ int main() {
     row_core.push_back(fmt_fixed(100.0 * result.timers.core / iter_total, 1));
     row_symbolic.push_back(fmt_fixed(
         100.0 * symbolic_max / (symbolic_max + iter_total), 1));
+    report.add()
+        .str("bench", "table4_step_breakdown")
+        .str("tensor", name)
+        .num("nnz", static_cast<double>(bt.tensor.nnz()))
+        .num("ranks", p)
+        .num("iterations", iters)
+        .num("ttmc_s", result.timers.ttmc)
+        .num("trsvd_s", result.timers.trsvd)
+        .num("core_s", result.timers.core)
+        .num("symbolic_s", symbolic_max)
+        .num("ttmc_pct", 100.0 * result.timers.ttmc / iter_total)
+        .num("trsvd_pct", 100.0 * result.timers.trsvd / iter_total)
+        .num("core_pct", 100.0 * result.timers.core / iter_total)
+        .num("symbolic_of_total_pct",
+             100.0 * symbolic_max / (symbolic_max + iter_total));
   }
 
   table.add_row(row_ttmc);
@@ -72,5 +92,6 @@ int main() {
   table.add_separator();
   table.add_row(row_symbolic);
   std::printf("%s", table.to_string().c_str());
+  report.write();
   return 0;
 }

@@ -3,7 +3,8 @@
 //
 //   ./tucker_cli INPUT.tns R1,R2,...  [--iters N] [--tol T] [--threads P]
 //                [--init random|range] [--ttmc-kernel auto|nnz|fiber]
-//                [--fiber-threshold T] [--export PREFIX] [--sweep]
+//                [--fiber-threshold T] [--ttmc-strategy auto|direct|tree]
+//                [--export PREFIX] [--sweep]
 //
 // With --sweep, the ranks argument is treated as the *maximum* per mode and
 // HOOI is run for a ladder of candidate ranks (reusing one symbolic TTMc),
@@ -56,6 +57,7 @@ int usage() {
                "usage: tucker_cli INPUT.tns R1,R2,... [--iters N] [--tol T]"
                " [--threads P] [--init random|range]"
                " [--ttmc-kernel auto|nnz|fiber] [--fiber-threshold T]"
+               " [--ttmc-strategy auto|direct|tree]"
                " [--export PREFIX] [--sweep]\n");
   return 2;
 }
@@ -103,6 +105,17 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--fiber-threshold") {
       options.ttmc_fiber_threshold = std::atof(next());
+    } else if (arg == "--ttmc-strategy") {
+      const std::string v = next();
+      if (v == "auto") {
+        options.ttmc_strategy = ht::core::TtmcStrategy::kAuto;
+      } else if (v == "direct") {
+        options.ttmc_strategy = ht::core::TtmcStrategy::kDirect;
+      } else if (v == "tree") {
+        options.ttmc_strategy = ht::core::TtmcStrategy::kTree;
+      } else {
+        return usage();
+      }
     } else if (arg == "--export") {
       export_prefix = next();
     } else if (arg == "--sweep") {

@@ -29,21 +29,36 @@ HooiResult hooi(const CooTensor& x, const HooiOptions& options) {
   validate_hooi_options(x, options);
   parallel::ThreadScope threads(options.num_threads);
 
-  HooiResult result;
   WallTimer timer;
   // An explicit per-nnz request never consults the fiber index; skip the
   // per-row sorts it would cost.
   const SymbolicTtmc symbolic = SymbolicTtmc::build(
       x, /*with_fibers=*/options.ttmc_kernel != TtmcKernel::kPerNnz);
-  result.timers.symbolic = timer.seconds();
+  const double symbolic_seconds = timer.seconds();
 
-  HooiResult rest = hooi(x, options, symbolic);
-  rest.timers.symbolic = result.timers.symbolic;
-  return rest;
+  HooiResult result = hooi(x, options, symbolic);
+  result.timers.symbolic += symbolic_seconds;
+  return result;
 }
 
 HooiResult hooi(const CooTensor& x, const HooiOptions& options,
                 const SymbolicTtmc& symbolic) {
+  validate_hooi_options(x, options);
+  if (options.ttmc_strategy == TtmcStrategy::kDirect || x.order() < 2) {
+    return hooi(x, options, symbolic, nullptr);
+  }
+  WallTimer timer;
+  const DimTreePlan tree = DimTreePlan::build(x);
+  const double tree_seconds = timer.seconds();
+  HooiResult result = hooi(x, options, symbolic, &tree);
+  // Plan construction is preprocessing, like the symbolic pass: paid once,
+  // amortized over iterations (and sweeps, when the caller reuses it).
+  result.timers.symbolic += tree_seconds;
+  return result;
+}
+
+HooiResult hooi(const CooTensor& x, const HooiOptions& options,
+                const SymbolicTtmc& symbolic, const DimTreePlan* tree) {
   validate_hooi_options(x, options);
   HT_CHECK_MSG(symbolic.modes.size() == x.order(),
                "symbolic structure does not match tensor");
@@ -59,7 +74,9 @@ HooiResult hooi(const CooTensor& x, const HooiOptions& options,
 
   const double x_norm2 = x.norm2_squared();
   const TtmcOptions ttmc_options{options.ttmc_schedule, options.ttmc_kernel,
-                                 options.ttmc_fiber_threshold};
+                                 options.ttmc_fiber_threshold,
+                                 options.ttmc_strategy};
+  TtmcScheduler scheduler(x, symbolic, tree, options.ranks, ttmc_options);
 
   la::Matrix y;  // compact Y(n), reused across modes/iterations
   la::Matrix last_compact_u;
@@ -68,7 +85,7 @@ HooiResult hooi(const CooTensor& x, const HooiOptions& options,
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     for (std::size_t n = 0; n < order; ++n) {
       WallTimer t_ttmc;
-      ttmc_mode(x, factors, n, symbolic.modes[n], y, ttmc_options);
+      scheduler.compute(factors, n, y);
       result.timers.ttmc += t_ttmc.seconds();
 
       WallTimer t_trsvd;

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/dim_tree.hpp"
 #include "core/symbolic.hpp"
 #include "core/trsvd.hpp"
 #include "core/ttmc.hpp"
@@ -34,6 +35,9 @@ struct HooiOptions {
   TtmcKernel ttmc_kernel = TtmcKernel::kAuto;
   /// Average-fiber-length threshold used by TtmcKernel::kAuto.
   double ttmc_fiber_threshold = TtmcOptions{}.fiber_threshold;
+  /// Cross-mode evaluation strategy: direct kernels per mode, dimension-tree
+  /// serving from shared partials, or the per-mode flop model (kAuto).
+  TtmcStrategy ttmc_strategy = TtmcStrategy::kAuto;
   /// OpenMP threads (0 = runtime default). Paper Table V sweeps this.
   int num_threads = 0;
   std::uint64_t seed = 42;
@@ -68,9 +72,16 @@ struct HooiResult {
 HooiResult hooi(const CooTensor& x, const HooiOptions& options);
 
 /// Run HOOI reusing a prebuilt symbolic structure (the paper reuses it
-/// across runs with different ranks).
+/// across runs with different ranks); builds a dimension-tree plan
+/// internally unless options.ttmc_strategy is kDirect.
 HooiResult hooi(const CooTensor& x, const HooiOptions& options,
                 const SymbolicTtmc& symbolic);
+
+/// Run HOOI reusing both a prebuilt symbolic structure and a prebuilt
+/// dimension-tree plan (nullable: no tree => every mode evaluated
+/// directly). rank_sweep shares one plan across its whole rank grid.
+HooiResult hooi(const CooTensor& x, const HooiOptions& options,
+                const SymbolicTtmc& symbolic, const DimTreePlan* tree);
 
 /// Validate options against the tensor; throws ht::InvalidArgument.
 void validate_hooi_options(const CooTensor& x, const HooiOptions& options);

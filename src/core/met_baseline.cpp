@@ -1,105 +1,19 @@
 #include "core/met_baseline.hpp"
 
 #include <algorithm>
-#include <numeric>
+#include <cmath>
 
 #include "core/hosvd.hpp"
 #include "la/blas.hpp"
 #include "parallel/thread_info.hpp"
+#include "tensor/semi_sparse.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
 namespace ht::core {
-namespace met_detail {
-
-SemiSparse lift(const CooTensor& x) {
-  SemiSparse s;
-  s.sparse_modes.resize(x.order());
-  std::iota(s.sparse_modes.begin(), s.sparse_modes.end(), 0);
-  s.idx.resize(x.order());
-  for (std::size_t n = 0; n < x.order(); ++n) {
-    const auto src = x.indices(n);
-    s.idx[n].assign(src.begin(), src.end());
-  }
-  s.values.assign(x.values().begin(), x.values().end());
-  s.block = 1;
-  return s;
-}
-
-SemiSparse ttm_contract(const SemiSparse& s, std::size_t mode,
-                        const la::Matrix& u) {
-  // Position of `mode` within the sparse mode list.
-  const auto it =
-      std::find(s.sparse_modes.begin(), s.sparse_modes.end(), mode);
-  HT_CHECK_MSG(it != s.sparse_modes.end(), "mode already contracted");
-  const std::size_t pos =
-      static_cast<std::size_t>(it - s.sparse_modes.begin());
-
-  const std::size_t n_entries = s.entries();
-  const std::size_t rank = u.cols();
-
-  // Sort entry ordinals by the remaining sparse coordinates.
-  std::vector<std::uint32_t> order(n_entries);
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
-    for (std::size_t k = 0; k < s.sparse_modes.size(); ++k) {
-      if (k == pos) continue;
-      if (s.idx[k][a] != s.idx[k][b]) return s.idx[k][a] < s.idx[k][b];
-    }
-    return false;
-  });
-
-  auto same_group = [&](std::uint32_t a, std::uint32_t b) {
-    for (std::size_t k = 0; k < s.sparse_modes.size(); ++k) {
-      if (k == pos) continue;
-      if (s.idx[k][a] != s.idx[k][b]) return false;
-    }
-    return true;
-  };
-
-  SemiSparse out;
-  out.sparse_modes.reserve(s.sparse_modes.size() - 1);
-  for (std::size_t k = 0; k < s.sparse_modes.size(); ++k) {
-    if (k != pos) out.sparse_modes.push_back(s.sparse_modes[k]);
-  }
-  out.idx.resize(out.sparse_modes.size());
-  out.block = s.block * rank;
-
-  // Materialize group by group: out_block = sum_e block_e (x) U(i_mode(e),:)
-  std::size_t begin = 0;
-  while (begin < n_entries) {
-    std::size_t end = begin + 1;
-    while (end < n_entries && same_group(order[begin], order[end])) ++end;
-
-    std::size_t out_k = 0;
-    for (std::size_t k = 0; k < s.sparse_modes.size(); ++k) {
-      if (k == pos) continue;
-      out.idx[out_k++].push_back(s.idx[k][order[begin]]);
-    }
-    const std::size_t base = out.values.size();
-    out.values.resize(base + out.block, 0.0);
-    double* dst = out.values.data() + base;
-    for (std::size_t g = begin; g < end; ++g) {
-      const std::uint32_t e = order[g];
-      const double* blk = s.values.data() + std::size_t{e} * s.block;
-      const auto urow = u.row(s.idx[pos][e]);
-      for (std::size_t b = 0; b < s.block; ++b) {
-        const double v = blk[b];
-        double* cell = dst + b * rank;
-        for (std::size_t r = 0; r < rank; ++r) cell[r] += v * urow[r];
-      }
-    }
-    begin = end;
-  }
-  return out;
-}
-
-}  // namespace met_detail
 
 HooiResult hooi_met_baseline(const CooTensor& x, const HooiOptions& options) {
   validate_hooi_options(x, options);
-  HT_CHECK_MSG(x.nnz() < (tensor::nnz_t{1} << 32),
-               "MET baseline limited to 2^32 nonzeros");
   parallel::ThreadScope threads(options.num_threads);
 
   const std::size_t order = x.order();
@@ -111,7 +25,7 @@ HooiResult hooi_met_baseline(const CooTensor& x, const HooiOptions& options) {
           : randomized_range_factors(x, options.ranks, options.seed);
 
   const double x_norm2 = x.norm2_squared();
-  const met_detail::SemiSparse lifted = met_detail::lift(x);
+  const tensor::SemiSparse lifted = tensor::SemiSparse::lift(x);
 
   la::Matrix y;
   la::Matrix last_compact_u;
@@ -122,38 +36,21 @@ HooiResult hooi_met_baseline(const CooTensor& x, const HooiOptions& options) {
     for (std::size_t n = 0; n < order; ++n) {
       WallTimer t_ttmc;
       // Materialized TTM chain over all modes but n, in increasing order —
-      // the dense block dimension ordering then matches ttmc_mode's.
-      met_detail::SemiSparse z = lifted;
+      // the dense block dimension ordering then matches ttmc_mode's. Each
+      // ttm_contract builds its merge plan from scratch: MET's cost model,
+      // unlike the dimension-tree scheduler which builds plans once.
+      tensor::SemiSparse z = lifted;
       for (std::size_t t = 0; t < order; ++t) {
         if (t == n) continue;
-        z = met_detail::ttm_contract(z, t, factors[t]);
+        z = tensor::ttm_contract(z, t, factors[t]);
       }
-      // z is now sparse in mode n only: gather rows of Y(n).
+      // z is now sparse in mode n only, merged and sorted by row index (the
+      // contraction orders groups by the surviving coordinates): its
+      // entries are exactly the compact rows of Y(n).
       HT_CHECK(z.sparse_modes.size() == 1 && z.sparse_modes[0] == n);
-      const std::size_t n_entries = z.entries();
-      std::vector<std::uint32_t> order_rows(n_entries);
-      std::iota(order_rows.begin(), order_rows.end(), 0);
-      std::sort(order_rows.begin(), order_rows.end(),
-                [&](std::uint32_t a, std::uint32_t b) {
-                  return z.idx[0][a] < z.idx[0][b];
-                });
-      rows.clear();
-      y.resize_zero(0, 0);
-      // First pass: count distinct rows.
-      for (std::size_t e = 0; e < n_entries; ++e) {
-        if (e == 0 || z.idx[0][order_rows[e]] != z.idx[0][order_rows[e - 1]]) {
-          rows.push_back(z.idx[0][order_rows[e]]);
-        }
-      }
-      y.resize_zero(rows.size(), z.block);
-      std::size_t r = 0;
-      for (std::size_t e = 0; e < n_entries; ++e) {
-        const std::uint32_t ord = order_rows[e];
-        if (e > 0 && z.idx[0][ord] != z.idx[0][order_rows[e - 1]]) ++r;
-        const double* blk = z.values.data() + std::size_t{ord} * z.block;
-        auto dst = y.row(r);
-        for (std::size_t b = 0; b < z.block; ++b) dst[b] += blk[b];
-      }
+      rows.assign(z.idx[0].begin(), z.idx[0].end());
+      y.resize(z.entries(), z.block);
+      std::copy(z.values.begin(), z.values.end(), y.data());
       result.timers.ttmc += t_ttmc.seconds();
 
       WallTimer t_trsvd;

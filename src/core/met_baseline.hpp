@@ -3,6 +3,12 @@
 // Memory-Efficient Tucker), instead of the paper's fused nonzero-based
 // formulation. Reproduces the sequential comparison in Section V
 // ("87.2 s MET vs 11.3 s ours" on a random 10K^3 / 1M-nnz tensor).
+//
+// The semi-sparse representation and TTM contraction themselves are the
+// shared ones in tensor/semi_sparse.* (also the substrate of the
+// dimension-tree TTMc scheduler); what makes this the *baseline* is the
+// evaluation order — a fresh full-length TTM chain per mode per iteration,
+// merge plans rebuilt every contraction, no cross-mode reuse.
 #pragma once
 
 #include "core/hooi.hpp"
@@ -10,32 +16,8 @@
 namespace ht::core {
 
 /// HOOI with TTM-chain (materialized) TTMc. Same options/result contract as
-/// hooi(); ttmc_schedule is ignored (the chain parallelizes per group).
+/// hooi(); ttmc_schedule/kernel/strategy are ignored (the chain
+/// parallelizes per merge group).
 HooiResult hooi_met_baseline(const CooTensor& x, const HooiOptions& options);
 
-namespace met_detail {
-
-/// Semi-sparse tensor: entries are sparse in `sparse_modes` and carry a
-/// dense block of the ranks processed so far (last-processed fastest).
-struct SemiSparse {
-  std::vector<std::size_t> sparse_modes;          // increasing
-  std::vector<std::vector<index_t>> idx;          // [pos in sparse_modes][entry]
-  std::size_t block = 1;
-  std::vector<double> values;                     // entries * block
-
-  [[nodiscard]] std::size_t entries() const {
-    return block == 0 ? 0 : values.size() / block;
-  }
-};
-
-/// Lift a COO tensor into the semi-sparse representation (block = 1).
-SemiSparse lift(const CooTensor& x);
-
-/// Multiply along `mode` with factor U (I_mode x R): contracts the mode away
-/// and appends R as the fastest dense dimension, merging entries that share
-/// the remaining sparse coordinates.
-SemiSparse ttm_contract(const SemiSparse& s, std::size_t mode,
-                        const la::Matrix& u);
-
-}  // namespace met_detail
 }  // namespace ht::core

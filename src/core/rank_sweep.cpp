@@ -1,6 +1,7 @@
 #include "core/rank_sweep.hpp"
 
 #include <numeric>
+#include <optional>
 
 #include "util/error.hpp"
 #include "util/timer.hpp"
@@ -37,13 +38,20 @@ RankSweepResult rank_sweep(const CooTensor& x,
   WallTimer t_sym;
   const SymbolicTtmc symbolic = SymbolicTtmc::build(
       x, /*with_fibers=*/base.ttmc_kernel != TtmcKernel::kPerNnz);
+  // The dimension-tree plan is symbolic too (it depends on the nonzero
+  // pattern only, not the ranks): one plan serves the whole rank grid.
+  std::optional<DimTreePlan> tree;
+  if (base.ttmc_strategy != TtmcStrategy::kDirect && x.order() >= 2) {
+    tree.emplace(DimTreePlan::build(x));
+  }
   result.symbolic_seconds = t_sym.seconds();
 
   for (const auto& ranks : candidates) {
     HooiOptions options = base;
     options.ranks = ranks;
     WallTimer t;
-    const HooiResult run = hooi(x, options, symbolic);
+    const HooiResult run =
+        hooi(x, options, symbolic, tree ? &*tree : nullptr);
     RankSweepEntry entry;
     entry.ranks = ranks;
     entry.fit = run.final_fit();

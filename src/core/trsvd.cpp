@@ -14,9 +14,17 @@ FactorTrsvd trsvd_factor(const la::Matrix& y, std::span<const index_t> rows,
   HT_CHECK_MSG(rank >= 1, "rank must be positive");
   HT_CHECK_MSG(rank <= dim, "rank " << rank << " exceeds mode size " << dim);
   HT_CHECK_MSG(y.rows() == rows.size(), "compact row map arity mismatch");
+
+#ifndef NDEBUG
+  // Debug-only: HOOI calls this once per mode per iteration with the
+  // symbolic row map, which is fixed at symbolic construction; a serial
+  // O(|J_n|) scan per call sits needlessly in the per-mode hot path (same
+  // bug class as the subset bounds scan ttmc_mode_subset used to pay).
+  // Callers own the contract; CI's Debug job keeps the check live.
   for (index_t r : rows) {
     HT_CHECK_MSG(r < dim, "compact row index out of range");
   }
+#endif
 
   FactorTrsvd out;
 

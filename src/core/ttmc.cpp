@@ -8,6 +8,21 @@ namespace ht::core {
 
 namespace {
 
+// One scratch arena per thread, shared by every kernel in this translation
+// unit. The kernels are function templates (one instantiation per row map),
+// so a thread_local inside each body would be duplicated per instantiation
+// and per kernel; routing them all through one arena means the buffers grow
+// once and are reused across rows, calls, kernels, and modes.
+struct KernelScratch {
+  std::vector<double> a;
+  std::vector<double> b;
+};
+
+inline KernelScratch& kernel_scratch() {
+  thread_local KernelScratch scratch;
+  return scratch;
+}
+
 // Specialized 3-mode kernel: y[ja * Rb + jb] += v * ua[ja] * ub[jb].
 inline void kron2_accumulate(double v, std::span<const double> ua,
                              std::span<const double> ub, double* y) {
@@ -157,11 +172,10 @@ void ttmc_general_per_nnz(const CooTensor& x,
                           std::ptrdiff_t nrows, RowMap map, la::Matrix& y,
                           const TtmcOptions& options) {
   parallel_rows(nrows, options.schedule, [&](std::ptrdiff_t r) {
-    thread_local std::vector<double> scratch;
     auto row = y.row(static_cast<std::size_t>(r));
     std::fill(row.begin(), row.end(), 0.0);
     for (nnz_t e : sym.update_list(map(r))) {
-      kron_general_accumulate(x, e, factors, mode, row, scratch);
+      kron_general_accumulate(x, e, factors, mode, row, kernel_scratch().a);
     }
   });
 }
@@ -184,7 +198,7 @@ void ttmc3_fiber(const CooTensor& x, const std::vector<la::Matrix>& factors,
   const la::Matrix& fb = factors[o.m[1]];
   const std::size_t rb = fb.cols();
   parallel_rows(nrows, options.schedule, [&](std::ptrdiff_t r) {
-    thread_local std::vector<double> t;
+    std::vector<double>& t = kernel_scratch().a;
     t.resize(rb);
     auto row = y.row(static_cast<std::size_t>(r));
     std::fill(row.begin(), row.end(), 0.0);
@@ -227,7 +241,8 @@ void ttmc4_fiber(const CooTensor& x, const std::vector<la::Matrix>& factors,
   const la::Matrix& fc = factors[o.m[2]];
   const std::size_t rb = fb.cols(), rc = fc.cols();
   parallel_rows(nrows, options.schedule, [&](std::ptrdiff_t r) {
-    thread_local std::vector<double> t_c, t_bc;
+    std::vector<double>& t_c = kernel_scratch().a;
+    std::vector<double>& t_bc = kernel_scratch().b;
     t_c.resize(rc);
     t_bc.resize(rb * rc);
     auto row = y.row(static_cast<std::size_t>(r));
@@ -348,18 +363,17 @@ void accumulate_kron(const CooTensor& x, nnz_t e,
                      factors[o.m[2]].row(x.index(o.m[2], e)), out.data());
     return;
   }
-  thread_local std::vector<double> scratch;
-  kron_general_accumulate(x, e, factors, mode, out, scratch);
+  kron_general_accumulate(x, e, factors, mode, out, kernel_scratch().a);
 }
 
 void ttmc_mode(const CooTensor& x, const std::vector<la::Matrix>& factors,
                std::size_t mode, const ModeSymbolic& sym, la::Matrix& y,
                const TtmcOptions& options) {
   check_inputs(x, factors, mode);
-  const std::size_t width = ttmc_row_width(factors, mode);
-  if (y.rows() != sym.num_rows() || y.cols() != width) {
-    y.resize_zero(sym.num_rows(), width);
-  }
+  // Capacity-preserving: every kernel zeroes each output row before
+  // accumulating, so the realloc+memset of resize_zero would be pure waste
+  // when mode widths differ across modes/iterations.
+  y.resize(sym.num_rows(), ttmc_row_width(factors, mode));
   ttmc_dispatch(x, factors, mode, sym,
                 static_cast<std::ptrdiff_t>(sym.num_rows()), IdentityRowMap{},
                 y, options);
@@ -385,10 +399,7 @@ void ttmc_mode_subset(const CooTensor& x,
 #endif
 
   const auto npos = static_cast<std::ptrdiff_t>(positions.size());
-  const std::size_t width = ttmc_row_width(factors, mode);
-  if (y.rows() != positions.size() || y.cols() != width) {
-    y.resize_zero(positions.size(), width);
-  }
+  y.resize(positions.size(), ttmc_row_width(factors, mode));
   ttmc_dispatch(x, factors, mode, sym, npos, SubsetRowMap{positions}, y,
                 options);
 }

@@ -36,6 +36,14 @@ enum class Schedule { kDynamic, kStatic };
 /// built with with_fibers = false).
 enum class TtmcKernel { kAuto, kPerNnz, kFiberFactored };
 
+/// Cross-mode evaluation strategy (consumed by core::TtmcScheduler, not by
+/// the single-mode entry points below):
+///   kDirect  every mode recomputes Y(n) from raw nonzeros (paper Alg. 2);
+///   kTree    modes are served from the dimension tree's semi-sparse
+///            partial contractions (core/dim_tree.*);
+///   kAuto    per-mode flop model picks direct vs tree-served.
+enum class TtmcStrategy { kAuto, kDirect, kTree };
+
 struct TtmcOptions {
   Schedule schedule = Schedule::kDynamic;
   TtmcKernel kernel = TtmcKernel::kAuto;
@@ -43,6 +51,9 @@ struct TtmcOptions {
   /// length (ModeSymbolic::avg_fiber_length) is at least this. Below it the
   /// per-fiber expansion does not amortize over enough nonzeros to win.
   double fiber_threshold = 2.0;
+  /// Cross-mode strategy; only TtmcScheduler reads it (ttmc_mode and
+  /// ttmc_mode_subset *are* the direct path).
+  TtmcStrategy strategy = TtmcStrategy::kAuto;
 };
 
 /// The kernel kAuto (or an explicit request) resolves to for this mode.

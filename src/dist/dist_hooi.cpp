@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <optional>
 #include <utility>
 
+#include "core/dim_tree.hpp"
 #include "core/symbolic.hpp"
 #include "core/trsvd.hpp"
 #include "core/ttmc.hpp"
@@ -262,9 +264,9 @@ DistHooiResult dist_hooi(const CooTensor& x, const DistHooiOptions& options,
   }
 
   const double x_norm2 = x.norm2_squared();
-  const core::TtmcOptions ttmc_options{options.ttmc_schedule,
-                                       options.ttmc_kernel,
-                                       options.ttmc_fiber_threshold};
+  const core::TtmcOptions ttmc_options{
+      options.ttmc_schedule, options.ttmc_kernel,
+      options.ttmc_fiber_threshold, options.ttmc_strategy};
   const tensor::Shape core_shape(options.ranks.begin(), options.ranks.end());
 
   smp::run_spmd(p, [&](smp::Communicator& comm) {
@@ -276,6 +278,14 @@ DistHooiResult dist_hooi(const CooTensor& x, const DistHooiOptions& options,
     const core::SymbolicTtmc symbolic = core::SymbolicTtmc::build(
         rp.local,
         /*with_fibers=*/options.ttmc_kernel != core::TtmcKernel::kPerNnz);
+    // Each rank plans its dimension tree over its own local tensor: the
+    // merge structure of local nonzeros has nothing to do with the other
+    // ranks', and the cost model resolves kAuto per rank.
+    std::optional<core::DimTreePlan> tree;
+    if (options.ttmc_strategy != core::TtmcStrategy::kDirect &&
+        rp.local.order() >= 2) {
+      tree.emplace(core::DimTreePlan::build(rp.local));
+    }
     core::HooiTimers timers;
     timers.symbolic = t_symbolic.seconds();
 
@@ -301,6 +311,10 @@ DistHooiResult dist_hooi(const CooTensor& x, const DistHooiOptions& options,
       }
     }
 
+    core::TtmcScheduler scheduler(rp.local, symbolic,
+                                  tree ? &*tree : nullptr, options.ranks,
+                                  ttmc_options);
+
     std::vector<la::Matrix> factors = rp.initial_factors;  // local slices
     std::vector<la::Matrix> full_factors(order);           // assembled U_n
     la::Matrix y;  // local part of compact Y(n), reused across modes
@@ -320,12 +334,11 @@ DistHooiResult dist_hooi(const CooTensor& x, const DistHooiOptions& options,
         WallTimer t_ttmc;
         if (fine) {
           // Partial rows over every local row; folded inside the TRSVD.
-          core::ttmc_mode(rp.local, factors, n, symbolic.modes[n], y,
-                          ttmc_options);
+          scheduler.compute(factors, n, y);
         } else {
-          // Owners hold whole slices: owned rows are complete.
-          core::ttmc_mode_subset(rp.local, factors, n, symbolic.modes[n],
-                                 owned_pos[n], y, ttmc_options);
+          // Owners hold whole slices: owned rows are complete — and under
+          // the tree strategy served straight from this rank's partial.
+          scheduler.compute_subset(factors, n, owned_pos[n], y);
         }
         timers.ttmc += t_ttmc.seconds();
 

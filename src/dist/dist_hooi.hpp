@@ -53,6 +53,11 @@ struct DistHooiOptions {
   /// kAuto applies the fiber-length heuristic to each rank's local tensor.
   core::TtmcKernel ttmc_kernel = core::TtmcKernel::kAuto;
   double ttmc_fiber_threshold = core::TtmcOptions{}.fiber_threshold;
+  /// Cross-mode TTMc strategy, resolved per rank against its local tensor.
+  /// Under the coarse grain the owned-row subsets are served straight from
+  /// the rank's partials; under the fine grain the partials hold the
+  /// rank-local partial sums the fold later combines.
+  core::TtmcStrategy ttmc_strategy = core::TtmcStrategy::kAuto;
   /// Inner-solver controls; defaults match core::HooiOptions.
   la::TrsvdOptions trsvd = {.tol = 1e-7};
   /// Hypergraph partitioner imbalance tolerance (plan construction only).

@@ -13,6 +13,14 @@ void Matrix::resize_zero(std::size_t rows, std::size_t cols) {
   data_.assign(rows * cols, 0.0);
 }
 
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  // vector::resize never shrinks capacity: repeated reshapes between mode
+  // widths settle at the largest size and stop allocating.
+  data_.resize(rows * cols);
+}
+
 double Matrix::frobenius_norm() const {
   double s = 0.0;
   for (double v : data_) s += v * v;

@@ -1,0 +1,226 @@
+#include "tensor/semi_sparse.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace ht::tensor {
+
+namespace {
+
+// Stable LSD counting sorts over the surviving coordinates (fastest key
+// last): O(keys * (entries + dim)) instead of a comparison sort with a
+// K-way coordinate comparator. The initial ordinal order makes entry
+// ordinal the final tie-break, so plans are deterministic.
+std::vector<nnz_t> sort_by_surviving_coords(const PatternView& in,
+                                            std::size_t skip_pos) {
+  const std::size_t n_entries = in.entries();
+  std::vector<nnz_t> order(n_entries);
+  std::iota(order.begin(), order.end(), nnz_t{0});
+  std::vector<nnz_t> tmp(n_entries);
+  std::vector<nnz_t> count;
+  for (std::size_t k = in.sparse_modes.size(); k-- > 0;) {
+    if (k == skip_pos) continue;
+    const auto key = in.idx[k];
+    index_t max_key = 0;
+    for (index_t v : key) max_key = std::max(max_key, v);
+    count.assign(static_cast<std::size_t>(max_key) + 2, 0);
+    for (nnz_t e : order) ++count[key[e] + 1];
+    for (std::size_t i = 1; i < count.size(); ++i) count[i] += count[i - 1];
+    for (nnz_t e : order) tmp[count[key[e]]++] = e;
+    order.swap(tmp);
+  }
+  return order;
+}
+
+}  // namespace
+
+SemiSparse SemiSparse::lift(const CooTensor& x) {
+  SemiSparse s;
+  s.sparse_modes.resize(x.order());
+  std::iota(s.sparse_modes.begin(), s.sparse_modes.end(), std::size_t{0});
+  s.idx.resize(x.order());
+  for (std::size_t n = 0; n < x.order(); ++n) {
+    const auto src = x.indices(n);
+    s.idx[n].assign(src.begin(), src.end());
+  }
+  s.values.assign(x.values().begin(), x.values().end());
+  s.block = 1;
+  return s;
+}
+
+PatternView PatternView::of(const CooTensor& x,
+                            std::vector<std::size_t>& modes) {
+  modes.resize(x.order());
+  std::iota(modes.begin(), modes.end(), std::size_t{0});
+  PatternView v;
+  v.sparse_modes = modes;
+  v.idx.reserve(x.order());
+  for (std::size_t n = 0; n < x.order(); ++n) v.idx.push_back(x.indices(n));
+  return v;
+}
+
+PatternView PatternView::of(const SemiSparse& s) {
+  PatternView v;
+  v.sparse_modes = s.sparse_modes;
+  v.idx.reserve(s.idx.size());
+  for (const auto& a : s.idx) v.idx.emplace_back(a);
+  return v;
+}
+
+PatternView TtmPlan::out_pattern() const {
+  HT_CHECK_MSG(out_idx.size() == out_sparse_modes.size(),
+               "plan output coordinates were shrunk away");
+  PatternView v;
+  v.sparse_modes = out_sparse_modes;
+  v.idx.reserve(out_idx.size());
+  for (const auto& a : out_idx) v.idx.emplace_back(a);
+  return v;
+}
+
+TtmPlan build_ttm_plan(const PatternView& in, std::size_t mode, bool prepend) {
+  const auto it = std::find(in.sparse_modes.begin(), in.sparse_modes.end(), mode);
+  HT_CHECK_MSG(it != in.sparse_modes.end(), "mode already contracted");
+  const auto pos = static_cast<std::size_t>(it - in.sparse_modes.begin());
+  const std::size_t n_entries = in.entries();
+
+  TtmPlan plan;
+  plan.source_mode = mode;
+  plan.prepend = prepend;
+  for (std::size_t k = 0; k < in.sparse_modes.size(); ++k) {
+    if (k != pos) plan.out_sparse_modes.push_back(in.sparse_modes[k]);
+  }
+
+  plan.src_entry = sort_by_surviving_coords(in, pos);
+  plan.src_row.resize(n_entries);
+  for (std::size_t s = 0; s < n_entries; ++s) {
+    plan.src_row[s] = in.idx[pos][plan.src_entry[s]];
+  }
+
+  auto same_group = [&](nnz_t a, nnz_t b) {
+    for (std::size_t k = 0; k < in.sparse_modes.size(); ++k) {
+      if (k == pos) continue;
+      if (in.idx[k][a] != in.idx[k][b]) return false;
+    }
+    return true;
+  };
+
+  plan.out_idx.resize(plan.out_sparse_modes.size());
+  plan.group_ptr.push_back(0);
+  for (std::size_t s = 0; s < n_entries; ++s) {
+    if (s > 0 && same_group(plan.src_entry[s], plan.src_entry[s - 1])) continue;
+    if (s > 0) plan.group_ptr.push_back(s);
+    std::size_t out_k = 0;
+    for (std::size_t k = 0; k < in.sparse_modes.size(); ++k) {
+      if (k == pos) continue;
+      plan.out_idx[out_k++].push_back(in.idx[k][plan.src_entry[s]]);
+    }
+  }
+  plan.group_ptr.push_back(n_entries);
+  if (n_entries == 0) plan.group_ptr.assign(1, 0);
+  return plan;
+}
+
+namespace {
+
+// Shared body of the full and subset applies: compute one group's output
+// block. The two layouts differ only in which operand indexes the slow
+// dimension of the rank-1 update.
+inline void apply_group(const TtmPlan& plan, nnz_t g, std::size_t in_block,
+                        std::span<const double> in_values, const la::Matrix& u,
+                        double* out, bool gathered_input) {
+  const std::size_t rank = u.cols();
+  const std::size_t out_block = in_block * rank;
+  std::fill(out, out + out_block, 0.0);
+  for (nnz_t s = plan.group_ptr[g]; s < plan.group_ptr[g + 1]; ++s) {
+    const double* blk =
+        in_values.data() +
+        (gathered_input ? static_cast<std::size_t>(s)
+                        : static_cast<std::size_t>(plan.src_entry[s])) *
+            in_block;
+    const auto urow = u.row(plan.src_row[s]);
+    if (plan.prepend) {
+      for (std::size_t r = 0; r < rank; ++r) {
+        const double ur = urow[r];
+        double* dst = out + r * in_block;
+        for (std::size_t b = 0; b < in_block; ++b) dst[b] += ur * blk[b];
+      }
+    } else {
+      for (std::size_t b = 0; b < in_block; ++b) {
+        const double vb = blk[b];
+        double* dst = out + b * rank;
+        for (std::size_t r = 0; r < rank; ++r) dst[r] += vb * urow[r];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void ttm_apply(const TtmPlan& plan, std::size_t in_block,
+               std::span<const double> in_values, const la::Matrix& u,
+               std::span<double> out, bool gathered_input,
+               bool dynamic_schedule) {
+  const std::size_t out_block = in_block * u.cols();
+  HT_CHECK_MSG(out.size() == plan.num_groups() * out_block,
+               "ttm_apply output size mismatch");
+  const auto n_groups = static_cast<std::ptrdiff_t>(plan.num_groups());
+  if (dynamic_schedule) {
+#pragma omp parallel for schedule(dynamic, 16)
+    for (std::ptrdiff_t g = 0; g < n_groups; ++g) {
+      apply_group(plan, static_cast<nnz_t>(g), in_block, in_values, u,
+                  out.data() + static_cast<std::size_t>(g) * out_block,
+                  gathered_input);
+    }
+  } else {
+#pragma omp parallel for schedule(static)
+    for (std::ptrdiff_t g = 0; g < n_groups; ++g) {
+      apply_group(plan, static_cast<nnz_t>(g), in_block, in_values, u,
+                  out.data() + static_cast<std::size_t>(g) * out_block,
+                  gathered_input);
+    }
+  }
+}
+
+void ttm_apply_subset(const TtmPlan& plan, std::size_t in_block,
+                      std::span<const double> in_values, const la::Matrix& u,
+                      std::span<const std::uint32_t> positions,
+                      std::span<double> out, bool dynamic_schedule) {
+  const std::size_t out_block = in_block * u.cols();
+  HT_CHECK_MSG(out.size() == positions.size() * out_block,
+               "ttm_apply_subset output size mismatch");
+  const auto npos = static_cast<std::ptrdiff_t>(positions.size());
+  if (dynamic_schedule) {
+#pragma omp parallel for schedule(dynamic, 16)
+    for (std::ptrdiff_t p = 0; p < npos; ++p) {
+      apply_group(plan, positions[static_cast<std::size_t>(p)], in_block,
+                  in_values, u,
+                  out.data() + static_cast<std::size_t>(p) * out_block,
+                  /*gathered_input=*/false);
+    }
+  } else {
+#pragma omp parallel for schedule(static)
+    for (std::ptrdiff_t p = 0; p < npos; ++p) {
+      apply_group(plan, positions[static_cast<std::size_t>(p)], in_block,
+                  in_values, u,
+                  out.data() + static_cast<std::size_t>(p) * out_block,
+                  /*gathered_input=*/false);
+    }
+  }
+}
+
+SemiSparse ttm_contract(const SemiSparse& s, std::size_t mode,
+                        const la::Matrix& u) {
+  const PatternView view = PatternView::of(s);
+  TtmPlan plan = build_ttm_plan(view, mode, /*prepend=*/false);
+  SemiSparse out;
+  out.sparse_modes = plan.out_sparse_modes;
+  out.block = s.block * u.cols();
+  out.values.resize(plan.num_groups() * out.block);
+  ttm_apply(plan, s.block, s.values, u, out.values);
+  out.idx = std::move(plan.out_idx);
+  return out;
+}
+
+}  // namespace ht::tensor

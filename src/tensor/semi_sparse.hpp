@@ -1,0 +1,126 @@
+// Semi-sparse tensor: sparse in a subset of the modes, with a dense block
+// of already-contracted ranks attached to every remaining nonzero entry.
+//
+// Promoted out of the sequential MET baseline into a first-class parallel
+// structure: a TTM along one sparse mode is split into a *symbolic merge
+// plan* (sort entries by the surviving coordinates, record the merge groups
+// — each group is exactly one fiber of the contracted mode) computed once,
+// and a *numeric apply* that streams the plan with an OpenMP loop over
+// groups. Groups write disjoint output blocks, so the numeric pass is a
+// lock-free parfor, mirroring the row-parallel TTMc kernels. Plans depend
+// only on the nonzero pattern: they are reused across HOOI iterations and
+// across runs with different ranks (the dimension-tree scheduler in
+// core/dim_tree.* is built on exactly this reuse).
+//
+// Block layout convention: a contraction either *appends* the factor rank as
+// the fastest-varying dense dimension (out[b * R + r]) or *prepends* it as
+// the slowest (out[r * B + b]). The dimension-tree scheduler needs both to
+// serve Y(n) in ttmc_mode's Kronecker order (factors of increasing mode,
+// last one fastest) no matter where mode n sits in the mode order.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "tensor/coo_tensor.hpp"
+#include "tensor/types.hpp"
+
+namespace ht::tensor {
+
+/// Semi-sparse tensor storage. `idx[k]` holds the coordinates along
+/// `sparse_modes[k]` (increasing mode ids) for every entry; `values` holds
+/// `entries() * block` doubles, one dense block per entry.
+struct SemiSparse {
+  std::vector<std::size_t> sparse_modes;   // increasing
+  std::vector<std::vector<index_t>> idx;   // [pos in sparse_modes][entry]
+  std::size_t block = 1;
+  std::vector<double> values;              // entries() * block
+
+  [[nodiscard]] std::size_t entries() const {
+    return block == 0 ? 0 : values.size() / block;
+  }
+
+  /// Lift a COO tensor into the semi-sparse representation (block = 1).
+  static SemiSparse lift(const CooTensor& x);
+};
+
+/// Non-owning view of a semi-sparse nonzero pattern (no values, no block):
+/// the input of symbolic plan construction.
+struct PatternView {
+  std::span<const std::size_t> sparse_modes;
+  std::vector<std::span<const index_t>> idx;  // aligned with sparse_modes
+
+  [[nodiscard]] std::size_t entries() const {
+    return idx.empty() ? 0 : idx[0].size();
+  }
+
+  /// View over a COO tensor (all modes sparse).
+  static PatternView of(const CooTensor& x, std::vector<std::size_t>& modes);
+  /// View over a SemiSparse.
+  static PatternView of(const SemiSparse& s);
+};
+
+/// Symbolic merge plan for contracting one sparse mode out of a pattern.
+///
+/// Entries are permuted so that the ones sharing every *surviving*
+/// coordinate — one fiber of the contracted mode — are contiguous; group g
+/// spans slots [group_ptr[g], group_ptr[g+1]). Groups are ordered
+/// lexicographically by the surviving coordinates (ties between entries by
+/// original ordinal), so the output entry order is deterministic and, once
+/// a single sparse mode remains, sorted by that mode's row index — exactly
+/// the compact row order of core::ModeSymbolic.
+struct TtmPlan {
+  std::size_t source_mode = 0;  // tensor mode being contracted
+  bool prepend = false;         // factor rank prepended vs appended
+  std::vector<std::size_t> out_sparse_modes;
+  std::vector<nnz_t> group_ptr;            // size num_groups() + 1
+  std::vector<nnz_t> src_entry;            // input entry per slot
+  std::vector<index_t> src_row;            // factor row per slot
+  std::vector<std::vector<index_t>> out_idx;  // [pos][group]; see shrink()
+
+  [[nodiscard]] std::size_t num_groups() const {
+    return group_ptr.empty() ? 0 : group_ptr.size() - 1;
+  }
+  [[nodiscard]] std::size_t num_slots() const { return src_entry.size(); }
+
+  /// Output pattern view (valid while out_idx is populated).
+  [[nodiscard]] PatternView out_pattern() const;
+
+  /// Drop the output coordinates once no further plan depends on them; the
+  /// numeric apply never reads them.
+  void shrink() { out_idx.clear(); out_idx.shrink_to_fit(); }
+};
+
+/// Build the merge plan contracting `mode` out of `in`.
+TtmPlan build_ttm_plan(const PatternView& in, std::size_t mode, bool prepend);
+
+/// Numeric apply: for every group, out block = sum over the group's slots of
+/// u.row(src_row) (x) input block (append) or its transpose-kron (prepend).
+/// `out` must hold num_groups() * in_block * u.cols() doubles; every group
+/// block is zeroed then accumulated (single writer, OpenMP over groups).
+/// With `gathered_input`, slot k reads in_values[k * in_block] directly —
+/// the caller pre-permuted the input by src_entry (done once per HOOI run
+/// for the leaf level, where the tensor values never change).
+void ttm_apply(const TtmPlan& plan, std::size_t in_block,
+               std::span<const double> in_values, const la::Matrix& u,
+               std::span<double> out, bool gathered_input = false,
+               bool dynamic_schedule = true);
+
+/// Numeric apply restricted to a subset of the groups: output row p holds
+/// group positions[p]. The coarse-grain distributed HOOI serves only its
+/// owned compact rows this way.
+void ttm_apply_subset(const TtmPlan& plan, std::size_t in_block,
+                      std::span<const double> in_values, const la::Matrix& u,
+                      std::span<const std::uint32_t> positions,
+                      std::span<double> out, bool dynamic_schedule = true);
+
+/// One-shot contraction (plan built internally, append layout): multiplies
+/// along `mode` with U (I_mode x R), contracting the mode away and appending
+/// R as the fastest dense dimension. The MET baseline's TTM chain is this
+/// call in a loop; performance-sensitive callers build plans once instead.
+SemiSparse ttm_contract(const SemiSparse& s, std::size_t mode,
+                        const la::Matrix& u);
+
+}  // namespace ht::tensor

@@ -267,7 +267,11 @@ TEST(TrsvdFactorTest, RejectsBadArguments) {
   Matrix y(3, 4);
   const std::vector<index_t> rows = {0, 1, 2};
   EXPECT_THROW(ht::core::trsvd_factor(y, rows, 9, 0), ht::Error);
+#ifndef NDEBUG
+  // The per-row bounds scan is debug-only: it is a serial O(|J_n|) loop in
+  // HOOI's per-mode hot path, so Release builds trust the symbolic row map.
   EXPECT_THROW(ht::core::trsvd_factor(y, rows, 2, 1), ht::Error);  // row 2 >= dim
+#endif
   const std::vector<index_t> short_rows = {0, 1};
   EXPECT_THROW(ht::core::trsvd_factor(y, short_rows, 9, 1), ht::Error);
 }

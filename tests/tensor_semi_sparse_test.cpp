@@ -1,0 +1,176 @@
+// Unit tests of the shared semi-sparse TTM layer: merge-plan invariants,
+// append/prepend block layouts, and golden equivalence of the materialized
+// TTM chain against the nonzero-based TTMc kernels.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "core/symbolic.hpp"
+#include "core/ttmc.hpp"
+#include "la/matrix.hpp"
+#include "tensor/generators.hpp"
+#include "tensor/semi_sparse.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using ht::la::Matrix;
+using ht::tensor::build_ttm_plan;
+using ht::tensor::CooTensor;
+using ht::tensor::index_t;
+using ht::tensor::nnz_t;
+using ht::tensor::PatternView;
+using ht::tensor::SemiSparse;
+using ht::tensor::Shape;
+using ht::tensor::TtmPlan;
+
+Matrix random_matrix(std::size_t m, std::size_t n, std::uint64_t seed) {
+  ht::Rng rng(seed);
+  Matrix a(m, n);
+  for (auto& v : a.flat()) v = rng.uniform(-1.0, 1.0);
+  return a;
+}
+
+TEST(SemiSparseTest, LiftPreservesEverything) {
+  const CooTensor x = ht::tensor::random_uniform(Shape{6, 7, 8}, 60, 3);
+  const SemiSparse s = SemiSparse::lift(x);
+  ASSERT_EQ(s.sparse_modes, (std::vector<std::size_t>{0, 1, 2}));
+  ASSERT_EQ(s.block, 1u);
+  ASSERT_EQ(s.entries(), x.nnz());
+  for (nnz_t e = 0; e < x.nnz(); ++e) {
+    EXPECT_EQ(s.values[e], x.value(e));
+    for (std::size_t n = 0; n < 3; ++n) EXPECT_EQ(s.idx[n][e], x.index(n, e));
+  }
+}
+
+TEST(TtmPlanTest, InvariantsHold) {
+  const CooTensor x = ht::tensor::random_fibered(Shape{10, 12, 30}, 40, 5, 7);
+  const SemiSparse s = SemiSparse::lift(x);
+  const TtmPlan plan =
+      build_ttm_plan(PatternView::of(s), /*mode=*/2, /*prepend=*/false);
+
+  // Slots are a permutation of the entries.
+  ASSERT_EQ(plan.num_slots(), s.entries());
+  std::vector<nnz_t> seen(plan.src_entry.begin(), plan.src_entry.end());
+  std::sort(seen.begin(), seen.end());
+  for (nnz_t e = 0; e < seen.size(); ++e) ASSERT_EQ(seen[e], e);
+
+  // Groups are maximal runs sharing the surviving coordinates, ordered
+  // lexicographically; src_row matches the contracted coordinate.
+  ASSERT_EQ(plan.out_sparse_modes, (std::vector<std::size_t>{0, 1}));
+  ASSERT_EQ(plan.out_idx[0].size(), plan.num_groups());
+  for (std::size_t g = 0; g < plan.num_groups(); ++g) {
+    ASSERT_LT(plan.group_ptr[g], plan.group_ptr[g + 1]);
+    for (nnz_t k = plan.group_ptr[g]; k < plan.group_ptr[g + 1]; ++k) {
+      const nnz_t e = plan.src_entry[k];
+      ASSERT_EQ(s.idx[0][e], plan.out_idx[0][g]);
+      ASSERT_EQ(s.idx[1][e], plan.out_idx[1][g]);
+      ASSERT_EQ(plan.src_row[k], s.idx[2][e]);
+    }
+    if (g > 0) {
+      const bool ordered =
+          plan.out_idx[0][g - 1] < plan.out_idx[0][g] ||
+          (plan.out_idx[0][g - 1] == plan.out_idx[0][g] &&
+           plan.out_idx[1][g - 1] < plan.out_idx[1][g]);
+      ASSERT_TRUE(ordered) << "groups out of order at " << g;
+    }
+  }
+}
+
+TEST(TtmPlanTest, EmptyPatternYieldsNoGroups) {
+  const CooTensor x(Shape{4, 4, 4});
+  const SemiSparse s = SemiSparse::lift(x);
+  const TtmPlan plan = build_ttm_plan(PatternView::of(s), 1, false);
+  EXPECT_EQ(plan.num_groups(), 0u);
+  EXPECT_EQ(plan.num_slots(), 0u);
+}
+
+// Contracting every mode but n in increasing order must gather to exactly
+// the compact Y(n) of the nonzero-based kernels (the MET baseline's chain).
+TEST(SemiSparseTest, TtmChainMatchesTtmcMode) {
+  for (const Shape& shape :
+       {Shape{12, 9, 14}, Shape{7, 6, 5, 9}}) {
+    const CooTensor x =
+        ht::tensor::random_uniform(shape, 40 * shape.size() * shape.size(), 19);
+    std::vector<index_t> ranks;
+    for (std::size_t n = 0; n < shape.size(); ++n) {
+      ranks.push_back(static_cast<index_t>(2 + n % 2));
+    }
+    std::vector<Matrix> factors;
+    for (std::size_t n = 0; n < shape.size(); ++n) {
+      factors.push_back(random_matrix(shape[n], ranks[n], 23 + n));
+    }
+    const ht::core::SymbolicTtmc sym = ht::core::SymbolicTtmc::build(x);
+    for (std::size_t n = 0; n < x.order(); ++n) {
+      SemiSparse z = SemiSparse::lift(x);
+      for (std::size_t t = 0; t < x.order(); ++t) {
+        if (t != n) z = ht::tensor::ttm_contract(z, t, factors[t]);
+      }
+      ASSERT_EQ(z.sparse_modes, (std::vector<std::size_t>{n}));
+      Matrix y;
+      ht::core::ttmc_mode(x, factors, n, sym.modes[n], y,
+                          {ht::core::Schedule::kDynamic,
+                           ht::core::TtmcKernel::kPerNnz});
+      ASSERT_EQ(z.entries(), y.rows());
+      ASSERT_EQ(z.block, y.cols());
+      for (std::size_t r = 0; r < y.rows(); ++r) {
+        ASSERT_EQ(z.idx[0][r], sym.modes[n].rows[r]);
+        for (std::size_t c = 0; c < y.cols(); ++c) {
+          EXPECT_NEAR(z.values[r * z.block + c], y(r, c), 1e-12)
+              << "mode " << n << " row " << r << " col " << c;
+        }
+      }
+    }
+  }
+}
+
+// Prepending a factor must equal appending it in the other order: for a
+// 3-mode tensor, (X x2 U2) with U1 prepended == (X x1 U1) x2 U2.
+TEST(SemiSparseTest, PrependMatchesAppendInSwappedOrder) {
+  const CooTensor x = ht::tensor::random_uniform(Shape{9, 8, 11}, 150, 29);
+  const Matrix u1 = random_matrix(8, 3, 31);
+  const Matrix u2 = random_matrix(11, 4, 37);
+  const SemiSparse s = SemiSparse::lift(x);
+
+  // Reference: contract mode 1 then mode 2, both appended -> [R1][R2].
+  const SemiSparse ref =
+      ht::tensor::ttm_contract(ht::tensor::ttm_contract(s, 1, u1), 2, u2);
+
+  // Alternative: contract mode 2 (append -> [R2]), then mode 1 *prepended*
+  // -> [R1][R2].
+  const SemiSparse mid = ht::tensor::ttm_contract(s, 2, u2);
+  const TtmPlan plan =
+      build_ttm_plan(PatternView::of(mid), 1, /*prepend=*/true);
+  std::vector<double> out(plan.num_groups() * mid.block * u1.cols());
+  ht::tensor::ttm_apply(plan, mid.block, mid.values, u1, out);
+
+  ASSERT_EQ(ref.entries(), plan.num_groups());
+  ASSERT_EQ(ref.values.size(), out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(ref.values[i], out[i], 1e-12) << "flat index " << i;
+  }
+}
+
+TEST(SemiSparseTest, SubsetApplyPicksGroups) {
+  const CooTensor x = ht::tensor::random_uniform(Shape{10, 9, 8}, 120, 41);
+  const Matrix u = random_matrix(8, 3, 43);
+  const SemiSparse s = SemiSparse::lift(x);
+  const TtmPlan plan = build_ttm_plan(PatternView::of(s), 2, false);
+
+  std::vector<double> full(plan.num_groups() * u.cols());
+  ht::tensor::ttm_apply(plan, 1, s.values, u, full);
+
+  std::vector<std::uint32_t> positions;
+  for (std::uint32_t g = 0; g < plan.num_groups(); g += 3) positions.push_back(g);
+  std::vector<double> part(positions.size() * u.cols());
+  ht::tensor::ttm_apply_subset(plan, 1, s.values, u, positions, part);
+  for (std::size_t p = 0; p < positions.size(); ++p) {
+    for (std::size_t c = 0; c < u.cols(); ++c) {
+      EXPECT_EQ(part[p * u.cols() + c], full[positions[p] * u.cols() + c]);
+    }
+  }
+}
+
+}  // namespace
