@@ -13,7 +13,14 @@
 //   5. direct vs dimension-tree-served TTMc per HOOI iteration, and what
 //      the TtmcStrategy::kAuto cost model picks (perf-trajectory entry:
 //      tree-serving must win on merge-heavy tensors and kAuto must stay
-//      within noise of direct everywhere).
+//      within noise of direct everywhere);
+//   6. TRSVD backends on the huge-mode regime where Table IV says TRSVD
+//      dominates: scalar Lanczos (bandwidth-bound gemv per step) vs the
+//      gemm-rich blocked backends (block Lanczos, randomized subspace
+//      iteration) vs Gram, and what TrsvdMethod::kAuto resolves
+//      (perf-trajectory entry: a blocked backend must beat scalar Lanczos
+//      on the huge mode, kAuto must match the winner there and stay on
+//      Lanczos for small modes).
 //
 // With --json PATH, every arm also appends machine-readable records so CI
 // publishes BENCH_ablation.json instead of hand-copied tables.
@@ -221,6 +228,95 @@ void tree_scheduler_ablation(bool smoke, htb::JsonReport& report) {
   std::printf("\n");
 }
 
+// Time one TRSVD step per backend on a fixed compact Y(n), interleaved
+// (lanczos, gram, block, rand, auto, repeat) best-of-`reps` so machine
+// drift hits every backend alike.
+void trsvd_backend_ablation(bool smoke, htb::JsonReport& report) {
+  using namespace ht;
+  std::printf("=== Ablation 6: TRSVD backends on Y(n) ===\n");
+
+  struct Arm {
+    std::string name;
+    tensor::Shape shape;
+    tensor::nnz_t nnz;
+  };
+  // The huge-mode arm is the Table IV regime (Netflix-like: one mode with
+  // hundreds of thousands of slices, TRSVD+comm dominant); the small-mode
+  // arm is the control where kAuto must not leave the scalar solver.
+  std::vector<Arm> arms;
+  if (smoke) {
+    arms.push_back({"huge_mode", {20000, 60, 60}, 60000});
+    arms.push_back({"small_mode", {120, 100, 80}, 20000});
+  } else {
+    arms.push_back({"huge_mode", {500000, 2000, 2000}, 2000000});
+    arms.push_back({"small_mode", {200, 200, 200}, 400000});
+  }
+  const std::vector<tensor::index_t> ranks(3, 10);
+  const int reps = smoke ? 1 : 3;
+
+  struct Backend {
+    core::TrsvdMethod method;
+    double best = 1e300;
+    double sigma1 = 0.0;
+    std::size_t steps = 0;
+    core::TrsvdMethod used = core::TrsvdMethod::kLanczos;
+  };
+
+  std::printf("%-11s %10s %8s  %s\n", "tensor", "|J_n|xC", "method",
+              "best(s)  speedup  steps");
+  for (const Arm& arm : arms) {
+    const auto x = tensor::random_uniform(arm.shape, arm.nnz, 2026);
+    const core::SymbolicTtmc sym = core::SymbolicTtmc::build(x);
+    const auto factors = core::random_orthonormal_factors(x.shape(), ranks, 7);
+    la::Matrix y;
+    core::ttmc_mode(x, factors, 0, sym.modes[0], y, {});
+
+    std::vector<Backend> backends = {
+        {core::TrsvdMethod::kLanczos}, {core::TrsvdMethod::kGram},
+        {core::TrsvdMethod::kBlockLanczos}, {core::TrsvdMethod::kRandomized},
+        {core::TrsvdMethod::kAuto}};
+    la::TrsvdOptions trsvd_opts;
+    trsvd_opts.tol = 1e-7;  // the HOOI ALS setting
+    for (int rep = 0; rep < reps; ++rep) {
+      for (Backend& b : backends) {
+        WallTimer t;
+        const auto res = core::trsvd_factor(y, sym.modes[0].rows, x.dim(0),
+                                            ranks[0], b.method, trsvd_opts);
+        b.best = std::min(b.best, t.seconds());
+        b.sigma1 = res.sigma[0];
+        b.steps = res.solver_steps;
+        b.used = res.method_used;
+      }
+    }
+
+    const double t_lanczos = backends[0].best;
+    for (const Backend& b : backends) {
+      const bool is_auto = b.method == core::TrsvdMethod::kAuto;
+      std::printf("%-11s %7zux%-3zu %8s  %.4fs  %6.2fx  %zu%s\n",
+                  arm.name.c_str(), y.rows(), y.cols(),
+                  core::trsvd_method_name(b.method), b.best,
+                  t_lanczos / b.best, b.steps,
+                  is_auto
+                      ? (std::string(" (-> ") + core::trsvd_method_name(b.used) +
+                         ")").c_str()
+                      : "");
+      report.add()
+          .str("arm", "trsvd_backend")
+          .str("tensor", arm.name)
+          .num("rows", static_cast<double>(y.rows()))
+          .num("cols", static_cast<double>(y.cols()))
+          .num("rank", ranks[0])
+          .str("method", core::trsvd_method_name(b.method))
+          .str("resolved", core::trsvd_method_name(b.used))
+          .num("best_s", b.best)
+          .num("speedup_vs_lanczos", t_lanczos / b.best)
+          .num("sigma_1", b.sigma1)
+          .num("steps", static_cast<double>(b.steps));
+    }
+  }
+  std::printf("\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -229,6 +325,7 @@ int main(int argc, char** argv) {
   htb::JsonReport report(htb::json_path_from_args(argc, argv));
   fiber_kernel_ablation(htb::bench_smoke(), report);
   tree_scheduler_ablation(htb::bench_smoke(), report);
+  trsvd_backend_ablation(htb::bench_smoke(), report);
   if (htb::bench_smoke()) {
     std::printf("[smoke] skipping ablations 1-3 (HT_SMOKE=1)\n");
     report.write();

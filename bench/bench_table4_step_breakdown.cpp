@@ -8,7 +8,11 @@
 // step is negligible.
 // With --json PATH, the per-tensor shares (and absolute seconds) are also
 // written as machine-readable records for the CI perf trajectory.
+// --trsvd-method lanczos|block|rand|auto swaps the TRSVD backend, so the
+// trajectory tracks how the blocked backends move the TRSVD+comm share
+// (and the measured fold/expand rounds) on the same partitions.
 #include <cstdio>
+#include <cstring>
 
 #include "bench_common.hpp"
 #include "core/symbolic.hpp"
@@ -21,10 +25,22 @@ int main(int argc, char** argv) {
   htb::enable_network_model_default();
   const int p = htb::bench_nprocs();
   const int iters = htb::bench_iters();
+  core::TrsvdMethod trsvd_method = core::TrsvdMethod::kLanczos;
+  for (int a = 1; a + 1 < argc; ++a) {
+    if (std::strcmp(argv[a], "--trsvd-method") == 0) {
+      const auto parsed = core::parse_trsvd_method(argv[a + 1]);
+      if (!parsed || *parsed == core::TrsvdMethod::kGram) {
+        std::fprintf(stderr,
+                     "--trsvd-method must be lanczos|block|rand|auto\n");
+        return 2;
+      }
+      trsvd_method = *parsed;
+    }
+  }
   std::printf(
       "=== Table IV: relative step timings (%%), fine-hp, %d ranks, %d "
-      "iterations ===\n",
-      p, iters);
+      "iterations, trsvd=%s ===\n",
+      p, iters, core::trsvd_method_name(trsvd_method));
 
   std::vector<std::string> header = {"step"};
   for (const auto& name : htb::bench_tensors()) header.push_back(name);
@@ -43,6 +59,7 @@ int main(int argc, char** argv) {
     options.method = dist::Method::kHypergraph;
     options.num_ranks = p;
     options.max_iterations = iters;
+    options.trsvd_method = trsvd_method;
 
     dist::PlanOptions popt;
     popt.grain = options.grain;
@@ -69,12 +86,20 @@ int main(int argc, char** argv) {
     row_core.push_back(fmt_fixed(100.0 * result.timers.core / iter_total, 1));
     row_symbolic.push_back(fmt_fixed(
         100.0 * symbolic_max / (symbolic_max + iter_total), 1));
+    std::string resolved;
+    for (std::size_t n = 0; n < result.trsvd_methods.size(); ++n) {
+      if (n) resolved += ",";
+      resolved += core::trsvd_method_name(result.trsvd_methods[n]);
+    }
     report.add()
         .str("bench", "table4_step_breakdown")
         .str("tensor", name)
         .num("nnz", static_cast<double>(bt.tensor.nnz()))
         .num("ranks", p)
         .num("iterations", iters)
+        .str("trsvd_method", core::trsvd_method_name(trsvd_method))
+        .str("trsvd_resolved", resolved)
+        .num("trsvd_rounds", static_cast<double>(result.stats.total_trsvd_rounds()))
         .num("ttmc_s", result.timers.ttmc)
         .num("trsvd_s", result.timers.trsvd)
         .num("core_s", result.timers.core)

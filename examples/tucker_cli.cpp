@@ -4,6 +4,8 @@
 //   ./tucker_cli INPUT.tns R1,R2,...  [--iters N] [--tol T] [--threads P]
 //                [--init random|range] [--ttmc-kernel auto|nnz|fiber]
 //                [--fiber-threshold T] [--ttmc-strategy auto|direct|tree]
+//                [--trsvd-method lanczos|gram|block|rand|auto]
+//                [--trsvd-block B] [--trsvd-oversample P] [--trsvd-power Q]
 //                [--export PREFIX] [--sweep]
 //
 // With --sweep, the ranks argument is treated as the *maximum* per mode and
@@ -58,6 +60,8 @@ int usage() {
                " [--threads P] [--init random|range]"
                " [--ttmc-kernel auto|nnz|fiber] [--fiber-threshold T]"
                " [--ttmc-strategy auto|direct|tree]"
+               " [--trsvd-method lanczos|gram|block|rand|auto]"
+               " [--trsvd-block B] [--trsvd-oversample P] [--trsvd-power Q]"
                " [--export PREFIX] [--sweep]\n");
   return 2;
 }
@@ -116,6 +120,22 @@ int main(int argc, char** argv) {
       } else {
         return usage();
       }
+    } else if (arg == "--trsvd-method") {
+      const auto method = ht::core::parse_trsvd_method(next());
+      if (!method) return usage();
+      options.trsvd_method = *method;
+    } else if (arg == "--trsvd-block") {
+      const int v = std::atoi(next());
+      if (v < 0) return usage();  // 0 = automatic block size
+      options.trsvd.block_size = static_cast<std::size_t>(v);
+    } else if (arg == "--trsvd-oversample") {
+      const int v = std::atoi(next());
+      if (v < 0) return usage();
+      options.trsvd.oversample = static_cast<std::size_t>(v);
+    } else if (arg == "--trsvd-power") {
+      const int v = std::atoi(next());
+      if (v < 0) return usage();
+      options.trsvd.power_iterations = static_cast<std::size_t>(v);
     } else if (arg == "--export") {
       export_prefix = next();
     } else if (arg == "--sweep") {

@@ -29,6 +29,9 @@ struct HooiOptions {
   /// Stop when the fit improves by less than this between sweeps.
   double fit_tolerance = 1e-6;
   HooiInit init = HooiInit::kRandom;
+  /// TRSVD backend per mode; kAuto applies the resolve_trsvd_method cost
+  /// model to each mode's compact problem (block-size/oversample/power
+  /// knobs live in `trsvd` below).
   TrsvdMethod trsvd_method = TrsvdMethod::kLanczos;
   Schedule ttmc_schedule = Schedule::kDynamic;
   /// Kernel family per TTMc mode; kAuto applies the fiber-length heuristic.

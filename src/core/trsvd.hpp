@@ -1,15 +1,29 @@
 // TRSVD step of HOOI: leading left singular vectors of the (compact)
 // matricized TTMc result Y(n) (paper Section III-A.2).
 //
-// Default method is the matrix-free Lanczos solver (the paper's SLEPc
-// substitute). The Gram-matrix method — eigendecomposition of Y^T Y, which
-// is only prod-of-ranks sized — is provided as a cross-check and ablation;
-// the paper's argument against Gram methods concerns Y Y^T (I_n x I_n) and,
-// in the fine-grain distributed setting, any method that would require
-// assembling Y(n).
+// Four interchangeable backends sit behind TrsvdMethod:
+//   kLanczos       matrix-free scalar Golub–Kahan–Lanczos (the paper's
+//                  SLEPc substitute) — lowest constant, but every step is a
+//                  bandwidth-bound gemv pass over Y(n);
+//   kGram          eigendecomposition of Y^T Y (prod-of-ranks sized);
+//                  cross-check/ablation only — the paper's argument against
+//                  Gram methods concerns Y Y^T and, in the fine-grain
+//                  distributed setting, any method that would require
+//                  assembling Y(n);
+//   kBlockLanczos  block bidiagonalization: b columns of Krylov progress
+//                  per gemm-rich pass, iterates to tolerance;
+//   kRandomized    HMT randomized subspace iteration: fixed budget of
+//                  2q+2 block passes, accuracy set by oversampling/power
+//                  iterations — the cheapest backend at ALS-grade
+//                  tolerances;
+//   kAuto          per-mode choice from the calibrated cost model in
+//                  resolve_trsvd_method (the TRSVD analog of PR 3's
+//                  TtmcStrategy::kAuto).
 #pragma once
 
+#include <optional>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "la/lanczos.hpp"
@@ -20,7 +34,38 @@ namespace ht::core {
 
 using tensor::index_t;
 
-enum class TrsvdMethod { kLanczos, kGram };
+enum class TrsvdMethod { kLanczos, kGram, kBlockLanczos, kRandomized, kAuto };
+
+/// Resolve kAuto for a compact problem of `rows` x `cols` at the given
+/// target rank (returns non-auto methods unchanged). The model is the one
+/// the README documents: small problems (rows*cols under a cache-sized
+/// threshold) stay on the scalar Lanczos solver whose constant is lowest;
+/// large problems go to a gemm-rich blocked backend — randomized subspace
+/// iteration at ALS-grade tolerances, block Lanczos when options.tol is
+/// tight enough to need an iterate-to-tolerance solver — picked by modeled
+/// pass counts over Y(n) (the dominant cost in the bandwidth-bound regime).
+TrsvdMethod resolve_trsvd_method(TrsvdMethod method, std::size_t rows,
+                                 std::size_t cols, std::size_t rank,
+                                 const la::TrsvdOptions& options);
+
+/// Modeled cost (flop-equivalents, memory-traffic charged) behind the
+/// resolve_trsvd_method decision; exposed for tests and benches.
+double trsvd_method_cost(TrsvdMethod method, std::size_t rows,
+                         std::size_t cols, std::size_t rank,
+                         const la::TrsvdOptions& options);
+
+/// CLI/bench name <-> enum helpers ("lanczos", "gram", "block", "rand",
+/// "auto"); parse returns nullopt on unknown names.
+std::optional<TrsvdMethod> parse_trsvd_method(std::string_view name);
+const char* trsvd_method_name(TrsvdMethod method);
+
+/// Run a *matrix-free* backend (kLanczos/kBlockLanczos/kRandomized) over an
+/// operator. Shared by the shared-memory dispatch below and the distributed
+/// driver, so a new backend is wired in exactly one place. kGram (needs the
+/// assembled matrix) and unresolved kAuto are programming errors here.
+la::TrsvdResult run_trsvd_backend(la::TrsvdOperator& op, TrsvdMethod method,
+                                  std::size_t rank,
+                                  const la::TrsvdOptions& options);
 
 struct FactorTrsvd {
   /// Full factor U_n: dim x rank, orthonormal columns. Rows outside the
@@ -32,6 +77,8 @@ struct FactorTrsvd {
   la::Matrix compact_u;
   std::vector<double> sigma;
   std::size_t solver_steps = 0;
+  /// Backend that actually ran (kAuto resolved).
+  TrsvdMethod method_used = TrsvdMethod::kLanczos;
 };
 
 /// Compute the leading `rank` left singular vectors of the compact matrix

@@ -21,33 +21,41 @@ namespace ht::dist {
 
 namespace {
 
-// Fold/expand row exchange of one row-space vector: for every send list,
-// ship the entries at the listed local positions to the peer; for every
-// receive list (ascending peer order, so accumulation is deterministic),
-// combine the incoming entries at the listed positions.
-void exchange_rows(smp::Communicator& comm, std::span<double> u,
-                   const std::vector<CommList>& send,
-                   const std::vector<CommList>& recv, int tag,
-                   bool accumulate) {
+// Fold/expand row exchange of a b-wide block of row-space vectors stored
+// row-major at `data` (row r of the block starts at data + r * width): for
+// every send list, ship the b-entry rows at the listed local positions to
+// the peer in one message; for every receive list (ascending peer order, so
+// accumulation is deterministic), combine the incoming rows at the listed
+// positions. One call is one message round regardless of width — this is
+// the batching that makes the blocked TRSVD backends pay one latency per
+// block apply instead of one per Lanczos vector (width 1 reproduces the
+// scalar exchange).
+void exchange_row_blocks(smp::Communicator& comm, double* data,
+                         std::size_t width, const std::vector<CommList>& send,
+                         const std::vector<CommList>& recv, int tag,
+                         bool accumulate) {
   std::vector<double> buf;
   for (const CommList& s : send) {
-    buf.resize(s.positions.size());
+    buf.resize(s.positions.size() * width);
     for (std::size_t i = 0; i < s.positions.size(); ++i) {
-      buf[i] = u[s.positions[i]];
+      const double* row = data + static_cast<std::size_t>(s.positions[i]) * width;
+      std::copy(row, row + width, buf.begin() + static_cast<long>(i * width));
     }
     comm.send<double>(s.peer, tag, buf);
   }
   for (const CommList& rc : recv) {
     const std::vector<double> vals = comm.recv<double>(rc.peer, tag);
-    HT_CHECK_MSG(vals.size() == rc.positions.size(),
+    HT_CHECK_MSG(vals.size() == rc.positions.size() * width,
                  "fold/expand payload size mismatch");
     if (accumulate) {
-      for (std::size_t i = 0; i < vals.size(); ++i) {
-        u[rc.positions[i]] += vals[i];
+      for (std::size_t i = 0; i < rc.positions.size(); ++i) {
+        double* row = data + static_cast<std::size_t>(rc.positions[i]) * width;
+        for (std::size_t j = 0; j < width; ++j) row[j] += vals[i * width + j];
       }
     } else {
-      for (std::size_t i = 0; i < vals.size(); ++i) {
-        u[rc.positions[i]] = vals[i];
+      for (std::size_t i = 0; i < rc.positions.size(); ++i) {
+        double* row = data + static_cast<std::size_t>(rc.positions[i]) * width;
+        for (std::size_t j = 0; j < width; ++j) row[j] = vals[i * width + j];
       }
     }
   }
@@ -68,6 +76,12 @@ void exchange_rows(smp::Communicator& comm, std::span<double> u,
 //                      then reduced.
 // With one rank all lists are empty and every collective is the identity,
 // so the operator degenerates to la::DenseOperator over the compact Y(n).
+//
+// The block entry points batch b vectors per communication round: one
+// fold/expand exchange carries b-wide row blocks and one allreduce carries
+// the whole c x b column-space block, so the blocked TRSVD backends pay
+// ~1/b of the scalar solver's message rounds (comm_rounds() reports the
+// measured count, surfaced through DistStats).
 class DistYOperator final : public la::TrsvdOperator {
  public:
   DistYOperator(const la::Matrix& y, const ModePlan& mp,
@@ -78,7 +92,12 @@ class DistYOperator final : public la::TrsvdOperator {
         owned_pos_(owned_pos),
         global_rows_(global_rows),
         comm_(comm),
-        tag_base_(tag_base) {}
+        tag_base_(tag_base) {
+    owned_is_all_rows_ = owned_pos_.size() == y_.rows();
+    for (std::size_t i = 0; owned_is_all_rows_ && i < owned_pos_.size(); ++i) {
+      owned_is_all_rows_ = owned_pos_[i] == i;
+    }
+  }
 
   [[nodiscard]] std::size_t row_local_size() const override {
     return y_.rows();
@@ -90,36 +109,86 @@ class DistYOperator final : public la::TrsvdOperator {
 
   void apply(std::span<const double> v, std::span<double> u) override {
     la::gemv(y_, v, u);
-    if (!mp_.fold_send.empty() || !mp_.fold_recv.empty()) {
-      exchange_rows(comm_, u, mp_.fold_send, mp_.fold_recv, tag_base_,
-                    /*accumulate=*/true);
-    }
-    if (!mp_.factor_send.empty() || !mp_.factor_recv.empty()) {
-      exchange_rows(comm_, u, mp_.factor_send, mp_.factor_recv, tag_base_ + 1,
-                    /*accumulate=*/false);
-    }
+    fold_expand(u.data(), 1);
   }
 
   void apply_transpose(std::span<const double> u,
                        std::span<double> v) override {
     la::gemv_t(y_, u, v);
     comm_.allreduce_sum(v);
+    ++comm_rounds_;
   }
 
   [[nodiscard]] double row_dot(std::span<const double> a,
                                std::span<const double> b) const override {
     double s = 0.0;
     for (std::uint32_t pos : owned_pos_) s += a[pos] * b[pos];
+    ++comm_rounds_;
     return comm_.allreduce_sum_scalar(s);
   }
 
+  void apply_block(const la::Matrix& v, la::Matrix& u) override {
+    la::gemm_into(y_, v, u);
+    fold_expand(u.data(), u.cols());
+  }
+
+  void apply_transpose_block(const la::Matrix& u, la::Matrix& v) override {
+    la::gemm_tn_into(y_, u, v);
+    comm_.allreduce_sum(v.flat());
+    ++comm_rounds_;
+  }
+
+  void row_gram(const la::Matrix& a, const la::Matrix& b,
+                la::Matrix& g) override {
+    if (owned_is_all_rows_) {
+      // Same code path as the shared-memory default, so a single-rank run
+      // bit-matches core::hooi.
+      la::gemm_tn_into(a, b, g);
+    } else {
+      // Fine grain, p > 1: count every global row once (owned positions).
+      gather_rows(a, ga_);
+      gather_rows(b, gb_);
+      la::gemm_tn_into(ga_, gb_, g);
+    }
+    comm_.allreduce_sum(g.flat());
+    ++comm_rounds_;
+  }
+
+  /// Measured communication rounds (exchanges + allreduces) so far.
+  [[nodiscard]] std::uint64_t comm_rounds() const { return comm_rounds_; }
+
  private:
+  void fold_expand(double* data, std::size_t width) {
+    if (!mp_.fold_send.empty() || !mp_.fold_recv.empty()) {
+      exchange_row_blocks(comm_, data, width, mp_.fold_send, mp_.fold_recv,
+                          tag_base_, /*accumulate=*/true);
+      ++comm_rounds_;
+    }
+    if (!mp_.factor_send.empty() || !mp_.factor_recv.empty()) {
+      exchange_row_blocks(comm_, data, width, mp_.factor_send,
+                          mp_.factor_recv, tag_base_ + 1,
+                          /*accumulate=*/false);
+      ++comm_rounds_;
+    }
+  }
+
+  void gather_rows(const la::Matrix& src, la::Matrix& dst) const {
+    dst.resize(owned_pos_.size(), src.cols());
+    for (std::size_t i = 0; i < owned_pos_.size(); ++i) {
+      const auto row = src.row(owned_pos_[i]);
+      std::copy(row.begin(), row.end(), dst.row(i).begin());
+    }
+  }
+
   const la::Matrix& y_;
   const ModePlan& mp_;
   std::span<const std::uint32_t> owned_pos_;
   std::size_t global_rows_;
   smp::Communicator& comm_;
   int tag_base_;
+  bool owned_is_all_rows_ = false;
+  la::Matrix ga_, gb_;  // gathered owned rows, reused across Gram calls
+  mutable std::uint64_t comm_rounds_ = 0;
 };
 
 // Replicated per-mode geometry shared by all ranks.
@@ -162,9 +231,19 @@ LoadSummary DistStats::comm_summary(std::size_t mode) const {
   return summarize_cells(*this, mode, &DistLoad::comm_entries);
 }
 
+LoadSummary DistStats::trsvd_rounds_summary(std::size_t mode) const {
+  return summarize_cells(*this, mode, &DistLoad::trsvd_rounds);
+}
+
 std::uint64_t DistStats::total_comm_entries() const {
   std::uint64_t total = 0;
   for (const DistLoad& c : cells_) total += c.comm_entries;
+  return total;
+}
+
+std::uint64_t DistStats::total_trsvd_rounds() const {
+  std::uint64_t total = 0;
+  for (const DistLoad& c : cells_) total += c.trsvd_rounds;
   return total;
 }
 
@@ -185,6 +264,11 @@ void validate_dist_options(const CooTensor& x, const DistHooiOptions& options) {
   }
   if (options.num_ranks < 1) {
     throw InvalidArgument("num_ranks must be >= 1");
+  }
+  if (options.trsvd_method == core::TrsvdMethod::kGram) {
+    throw InvalidArgument(
+        "Gram TRSVD would require assembling Y(n); pick a matrix-free "
+        "backend for distributed HOOI");
   }
 }
 
@@ -241,6 +325,16 @@ DistHooiResult dist_hooi(const CooTensor& x, const DistHooiOptions& options,
 
   DistHooiResult result;
   result.label = config_label(gplan.grain, gplan.method);
+
+  // Resolve the TRSVD backend per mode against the *global* compact problem
+  // (|J_n| x prod-of-other-ranks): the choice must be identical on every
+  // rank since the solvers make collective calls in lockstep.
+  result.trsvd_methods.resize(order);
+  for (std::size_t n = 0; n < order; ++n) {
+    result.trsvd_methods[n] = core::resolve_trsvd_method(
+        options.trsvd_method, geo[n].rows.size(), geo[n].width,
+        geo[n].solvable, options.trsvd);
+  }
 
   // Table III loads: a property of the partition, computed from the plans.
   result.stats = DistStats(order, static_cast<std::size_t>(p));
@@ -349,7 +443,12 @@ DistHooiResult dist_hooi(const CooTensor& x, const DistHooiOptions& options,
         const ModePlan& op_plan = fine ? mp : kNoComm;
         DistYOperator op(y, op_plan, op_owned_pos[n], g.rows.size(), comm,
                          static_cast<int>(2 * n));
-        la::TrsvdResult solved = la::lanczos_trsvd(op, g.solvable, options.trsvd);
+        la::TrsvdResult solved = core::run_trsvd_backend(
+            op, result.trsvd_methods[n], g.solvable, options.trsvd);
+        // Each rank owns its stats cell; writes from SPMD threads touch
+        // disjoint DistLoad objects.
+        result.stats.at(n, static_cast<std::size_t>(rank)).trsvd_rounds +=
+            op.comm_rounds();
 
         // Gather the owners' rows of U and assemble the replicated compact
         // solution in global row order (identical on every rank: collectives

@@ -58,6 +58,12 @@ struct DistHooiOptions {
   /// the rank's partials; under the fine grain the partials hold the
   /// rank-local partial sums the fold later combines.
   core::TtmcStrategy ttmc_strategy = core::TtmcStrategy::kAuto;
+  /// TRSVD backend, resolved per mode (kAuto) against the global compact
+  /// problem size. The blocked backends batch the fold/expand exchange into
+  /// one message round per block apply instead of one per Lanczos vector.
+  /// kGram is rejected: it would require assembling Y(n) (the paper's
+  /// argument for matrix-free solvers in the fine-grain setting).
+  core::TrsvdMethod trsvd_method = core::TrsvdMethod::kLanczos;
   /// Inner-solver controls; defaults match core::HooiOptions.
   la::TrsvdOptions trsvd = {.tol = 1e-7};
   /// Hypergraph partitioner imbalance tolerance (plan construction only).
@@ -73,6 +79,12 @@ struct DistLoad {
   /// Modeled communication volume in vector entries (fold + expand rows,
   /// sent and received, times the mode's factor rank).
   std::uint64_t comm_entries = 0;
+  /// Measured TRSVD communication rounds (fold/expand exchanges plus
+  /// column-space/Gram allreduces), summed over iterations. Unlike the
+  /// modeled fields above, this is observed during the run: the blocked
+  /// backends batch b vectors per round, so it drops by ~b versus scalar
+  /// Lanczos on the same partition.
+  std::uint64_t trsvd_rounds = 0;
 };
 
 class DistStats {
@@ -95,9 +107,13 @@ class DistStats {
   [[nodiscard]] LoadSummary ttmc_summary(std::size_t mode) const;
   [[nodiscard]] LoadSummary trsvd_summary(std::size_t mode) const;
   [[nodiscard]] LoadSummary comm_summary(std::size_t mode) const;
+  [[nodiscard]] LoadSummary trsvd_rounds_summary(std::size_t mode) const;
 
   /// Total modeled communication volume over all modes and ranks.
   [[nodiscard]] std::uint64_t total_comm_entries() const;
+
+  /// Total measured TRSVD communication rounds over all modes and ranks.
+  [[nodiscard]] std::uint64_t total_trsvd_rounds() const;
 
  private:
   std::size_t modes_ = 0;
@@ -110,6 +126,9 @@ struct DistHooiResult {
   /// Fit after each completed sweep (identical on every rank).
   std::vector<double> fits;
   DistStats stats;
+  /// TRSVD backend resolved per mode (kAuto applies the cost model to the
+  /// global compact problem; identical on every rank).
+  std::vector<core::TrsvdMethod> trsvd_methods;
   /// Paper configuration label, e.g. "fine-hp".
   std::string label;
   int iterations = 0;

@@ -5,6 +5,10 @@
 #include <cmath>
 #include <vector>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 #include "util/error.hpp"
 
 namespace ht::la {
@@ -14,6 +18,12 @@ std::atomic<bool> g_threaded{true};
 
 // Rows below this threshold are not worth an OpenMP region.
 constexpr std::size_t kParallelRowThreshold = 256;
+
+// Entries below this threshold are not worth an OpenMP region for the
+// level-1 kernels (one multiply-add per entry; the fork/join would
+// dominate). Column-space vectors (prod-of-ranks sized) stay serial,
+// row-space vectors (one entry per tensor slice) go parallel.
+constexpr std::size_t kParallelVecThreshold = 16384;
 }  // namespace
 
 void set_blas_threading(bool enabled) { g_threaded.store(enabled); }
@@ -21,24 +31,60 @@ bool blas_threading() { return g_threaded.load(); }
 
 void axpy(double alpha, std::span<const double> x, std::span<double> y) {
   HT_CHECK(x.size() == y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  const std::size_t n = x.size();
+#ifdef _OPENMP
+  if (g_threaded.load() && n >= kParallelVecThreshold) {
+#pragma omp parallel for simd schedule(static)
+    for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+    return;
+  }
+#endif
+#pragma omp simd
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
 }
 
 double dot(std::span<const double> x, std::span<const double> y) {
   HT_CHECK(x.size() == y.size());
+  const std::size_t n = x.size();
   double s = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
+#ifdef _OPENMP
+  if (g_threaded.load() && n >= kParallelVecThreshold) {
+#pragma omp parallel for simd reduction(+ : s) schedule(static)
+    for (std::size_t i = 0; i < n; ++i) s += x[i] * y[i];
+    return s;
+  }
+#endif
+#pragma omp simd reduction(+ : s)
+  for (std::size_t i = 0; i < n; ++i) s += x[i] * y[i];
   return s;
 }
 
 double nrm2(std::span<const double> x) {
+  const std::size_t n = x.size();
   double s = 0.0;
-  for (double v : x) s += v * v;
+#ifdef _OPENMP
+  if (g_threaded.load() && n >= kParallelVecThreshold) {
+#pragma omp parallel for simd reduction(+ : s) schedule(static)
+    for (std::size_t i = 0; i < n; ++i) s += x[i] * x[i];
+    return std::sqrt(s);
+  }
+#endif
+#pragma omp simd reduction(+ : s)
+  for (std::size_t i = 0; i < n; ++i) s += x[i] * x[i];
   return std::sqrt(s);
 }
 
 void scal(double alpha, std::span<double> x) {
-  for (double& v : x) v *= alpha;
+  const std::size_t n = x.size();
+#ifdef _OPENMP
+  if (g_threaded.load() && n >= kParallelVecThreshold) {
+#pragma omp parallel for simd schedule(static)
+    for (std::size_t i = 0; i < n; ++i) x[i] *= alpha;
+    return;
+  }
+#endif
+#pragma omp simd
+  for (std::size_t i = 0; i < n; ++i) x[i] *= alpha;
 }
 
 void gemv(const Matrix& a, std::span<const double> x, std::span<double> y) {
@@ -55,93 +101,132 @@ void gemv(const Matrix& a, std::span<const double> x, std::span<double> y) {
   }
 }
 
+// Shared tail of gemv_t / gemm_tn: per-thread partial buffers of `width`
+// entries in one arena, followed by a parallel strided reduction over the
+// output entries. Replaces the old `omp critical` accumulation, which
+// serialized O(threads * width) work behind a lock at high thread counts;
+// the reduction sums thread partials in ascending thread order, so the
+// result is deterministic for a fixed thread count.
+#ifdef _OPENMP
+template <typename FillPartial>
+void reduce_over_threads(std::size_t width, std::span<double> out,
+                         FillPartial&& fill) {
+  std::vector<double> arena;
+  int nthreads = 1;
+#pragma omp parallel
+  {
+#pragma omp single
+    {
+      nthreads = omp_get_num_threads();
+      arena.assign(static_cast<std::size_t>(nthreads) * width, 0.0);
+    }
+    double* local =
+        arena.data() + static_cast<std::size_t>(omp_get_thread_num()) * width;
+    fill(local);
+    // fill's worksharing loop ends with an implicit barrier, so every
+    // thread's partial is complete before the reduction below starts.
+#pragma omp for schedule(static)
+    for (std::size_t j = 0; j < width; ++j) {
+      double s = 0.0;
+      for (int t = 0; t < nthreads; ++t) {
+        s += arena[static_cast<std::size_t>(t) * width + j];
+      }
+      out[j] = s;
+    }
+  }
+}
+#endif
+
 void gemv_t(const Matrix& a, std::span<const double> x, std::span<double> y) {
   HT_CHECK(x.size() == a.rows());
   HT_CHECK(y.size() == a.cols());
   const std::size_t m = a.rows();
   const std::size_t n = a.cols();
+#ifdef _OPENMP
   const bool par = g_threaded.load() && m >= kParallelRowThreshold && n >= 8;
-  if (!par) {
-    std::fill(y.begin(), y.end(), 0.0);
-    for (std::size_t i = 0; i < m; ++i) {
-      const auto row = a.row(i);
-      const double xi = x[i];
-      for (std::size_t j = 0; j < n; ++j) y[j] += xi * row[j];
-    }
+  if (par) {
+    reduce_over_threads(n, y, [&](double* local) {
+#pragma omp for schedule(static)
+      for (std::size_t i = 0; i < m; ++i) {
+        const auto row = a.row(i);
+        const double xi = x[i];
+        for (std::size_t j = 0; j < n; ++j) local[j] += xi * row[j];
+      }
+    });
     return;
   }
+#endif
   std::fill(y.begin(), y.end(), 0.0);
-#pragma omp parallel
-  {
-    std::vector<double> local(n, 0.0);
-#pragma omp for schedule(static) nowait
-    for (std::size_t i = 0; i < m; ++i) {
-      const auto row = a.row(i);
-      const double xi = x[i];
-      for (std::size_t j = 0; j < n; ++j) local[j] += xi * row[j];
-    }
-#pragma omp critical(ht_gemv_t_accum)
-    for (std::size_t j = 0; j < n; ++j) y[j] += local[j];
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto row = a.row(i);
+    const double xi = x[i];
+    for (std::size_t j = 0; j < n; ++j) y[j] += xi * row[j];
   }
 }
 
-Matrix gemm(const Matrix& a, const Matrix& b) {
+void gemm_into(const Matrix& a, const Matrix& b, Matrix& c) {
   HT_CHECK_MSG(a.cols() == b.rows(), "gemm shape mismatch: " << a.rows() << "x"
                                        << a.cols() << " * " << b.rows() << "x"
                                        << b.cols());
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  Matrix c(m, n);
+  c.resize(m, n);
   const bool par = g_threaded.load() && m >= kParallelRowThreshold;
 #pragma omp parallel for schedule(static) if (par)
   for (std::size_t i = 0; i < m; ++i) {
     double* ci = c.data() + i * n;
     const double* ai = a.data() + i * k;
+    std::fill(ci, ci + n, 0.0);
     for (std::size_t l = 0; l < k; ++l) {
       const double ail = ai[l];
       const double* bl = b.data() + l * n;
       for (std::size_t j = 0; j < n; ++j) ci[j] += ail * bl[j];
     }
   }
+}
+
+Matrix gemm(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  gemm_into(a, b, c);
   return c;
 }
 
-Matrix gemm_tn(const Matrix& a, const Matrix& b) {
+void gemm_tn_into(const Matrix& a, const Matrix& b, Matrix& c) {
   HT_CHECK_MSG(a.rows() == b.rows(), "gemm_tn shape mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  Matrix c(k, n);
+  c.resize(k, n);
+#ifdef _OPENMP
   const bool par = g_threaded.load() && m >= kParallelRowThreshold;
-  if (!par) {
-    for (std::size_t i = 0; i < m; ++i) {
-      const double* ai = a.data() + i * k;
-      const double* bi = b.data() + i * n;
-      for (std::size_t l = 0; l < k; ++l) {
-        const double ail = ai[l];
-        double* cl = c.data() + l * n;
-        for (std::size_t j = 0; j < n; ++j) cl[j] += ail * bi[j];
+  if (par) {
+    reduce_over_threads(k * n, c.flat(), [&](double* local) {
+#pragma omp for schedule(static)
+      for (std::size_t i = 0; i < m; ++i) {
+        const double* ai = a.data() + i * k;
+        const double* bi = b.data() + i * n;
+        for (std::size_t l = 0; l < k; ++l) {
+          const double ail = ai[l];
+          double* cl = local + l * n;
+          for (std::size_t j = 0; j < n; ++j) cl[j] += ail * bi[j];
+        }
       }
-    }
-    return c;
+    });
+    return;
   }
-#pragma omp parallel
-  {
-    Matrix local(k, n);
-#pragma omp for schedule(static) nowait
-    for (std::size_t i = 0; i < m; ++i) {
-      const double* ai = a.data() + i * k;
-      const double* bi = b.data() + i * n;
-      for (std::size_t l = 0; l < k; ++l) {
-        const double ail = ai[l];
-        double* cl = local.data() + l * n;
-        for (std::size_t j = 0; j < n; ++j) cl[j] += ail * bi[j];
-      }
-    }
-#pragma omp critical(ht_gemm_tn_accum)
-    {
-      double* cd = c.data();
-      const double* ld = local.data();
-      for (std::size_t idx = 0; idx < k * n; ++idx) cd[idx] += ld[idx];
+#endif
+  c.set_zero();
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* ai = a.data() + i * k;
+    const double* bi = b.data() + i * n;
+    for (std::size_t l = 0; l < k; ++l) {
+      const double ail = ai[l];
+      double* cl = c.data() + l * n;
+      for (std::size_t j = 0; j < n; ++j) cl[j] += ail * bi[j];
     }
   }
+}
+
+Matrix gemm_tn(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  gemm_tn_into(a, b, c);
   return c;
 }
 

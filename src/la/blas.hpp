@@ -24,6 +24,11 @@ double nrm2(std::span<const double> x);
 /// x *= alpha.
 void scal(double alpha, std::span<double> x);
 
+// The level-1 kernels above parallelize (and SIMD-ize) over entries once
+// the vector crosses an OpenMP-worthwhile size; they sit on the Lanczos /
+// orthogonalization hot path where row-space vectors have one entry per
+// tensor slice.
+
 /// y = A * x (A: m x n row-major).
 void gemv(const Matrix& a, std::span<const double> x, std::span<double> y);
 
@@ -33,9 +38,17 @@ void gemv_t(const Matrix& a, std::span<const double> x, std::span<double> y);
 /// C = A * B.
 Matrix gemm(const Matrix& a, const Matrix& b);
 
+/// C = A * B into a caller-owned output (resized, capacity preserved). The
+/// blocked TRSVD solvers call this once per block apply, reusing one buffer
+/// across iterations.
+void gemm_into(const Matrix& a, const Matrix& b, Matrix& c);
+
 /// C = A^T * B (A: m x k -> C: k x n). The HOOI core-tensor step
 /// G(N) = U_N^T Y(N) is this shape.
 Matrix gemm_tn(const Matrix& a, const Matrix& b);
+
+/// C = A^T * B into a caller-owned output (resized, capacity preserved).
+void gemm_tn_into(const Matrix& a, const Matrix& b, Matrix& c);
 
 /// C = A * B^T.
 Matrix gemm_nt(const Matrix& a, const Matrix& b);

@@ -1,0 +1,273 @@
+#include "la/block_lanczos.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "la/blas.hpp"
+#include "la/block_ops.hpp"
+#include "la/svd.hpp"
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace ht::la {
+
+namespace {
+
+// Growable row-per-vector store for the V basis (each row is one basis
+// vector of length c). Rebuilding the Matrix view after an append copies
+// O(cols * c) doubles — noise next to one block pass over A.
+class BasisRows {
+ public:
+  explicit BasisRows(std::size_t c) : c_(c) {}
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] const Matrix& matrix() const { return mat_; }
+
+  /// Append the first `width` columns of `v` (c x >=width) as rows.
+  void append_columns(const Matrix& v, std::size_t width) {
+    flat_.resize((count_ + width) * c_);
+    for (std::size_t j = 0; j < width; ++j) {
+      double* row = flat_.data() + (count_ + j) * c_;
+      for (std::size_t i = 0; i < c_; ++i) row[i] = v(i, j);
+    }
+    count_ += width;
+    mat_ = Matrix(count_, c_, flat_);
+  }
+
+ private:
+  std::size_t c_;
+  std::size_t count_ = 0;
+  std::vector<double> flat_;
+  Matrix mat_;
+};
+
+// Fill columns [kept, width) of `v` with fresh seeded random directions
+// orthogonal to the basis and to v's earlier columns (the block analog of
+// the scalar solver's breakdown restart). Returns the final usable width:
+// smaller than `width` when the column space is exhausted.
+std::size_t fill_deficient_columns(Matrix& v, std::size_t kept,
+                                   std::size_t width, const BasisRows& basis,
+                                   std::uint64_t& restart_seed) {
+  const std::size_t c = v.rows();
+  std::vector<double> cand(c);
+  for (std::size_t col = kept; col < width; ++col) {
+    bool placed = false;
+    for (int attempt = 0; attempt < 4 && !placed; ++attempt) {
+      Rng rng(++restart_seed);
+      for (auto& x : cand) x = rng.normal();
+      // Two passes of classical Gram-Schmidt against basis + earlier cols.
+      for (int pass = 0; pass < 2; ++pass) {
+        for (std::size_t r = 0; r < basis.count(); ++r) {
+          const auto row = basis.matrix().row(r);
+          double s = 0.0;
+          for (std::size_t i = 0; i < c; ++i) s += row[i] * cand[i];
+          for (std::size_t i = 0; i < c; ++i) cand[i] -= s * row[i];
+        }
+        for (std::size_t k = 0; k < col; ++k) {
+          double s = 0.0;
+          for (std::size_t i = 0; i < c; ++i) s += v(i, k) * cand[i];
+          for (std::size_t i = 0; i < c; ++i) cand[i] -= s * v(i, k);
+        }
+      }
+      const double n = nrm2(cand);
+      if (n > 1e-8) {
+        for (std::size_t i = 0; i < c; ++i) v(i, col) = cand[i] / n;
+        placed = true;
+      }
+    }
+    if (!placed) return col;  // column space exhausted
+  }
+  return width;
+}
+
+// Assemble the block upper bidiagonal projected matrix T (total x total)
+// from diagonal blocks A_j and superdiagonal blocks B_j^T.
+Matrix assemble_projected(const std::vector<Matrix>& diag,
+                          const std::vector<Matrix>& superT,
+                          std::size_t total) {
+  Matrix t(total, total);
+  std::size_t offset = 0;
+  for (std::size_t j = 0; j < diag.size(); ++j) {
+    const Matrix& a = diag[j];
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+      for (std::size_t s = 0; s < a.cols(); ++s) t(offset + r, offset + s) = a(r, s);
+    }
+    if (j < superT.size()) {
+      const Matrix& bt = superT[j];  // w_j x w_{j+1}
+      for (std::size_t r = 0; r < bt.rows(); ++r) {
+        for (std::size_t s = 0; s < bt.cols(); ++s) {
+          t(offset + r, offset + a.cols() + s) = bt(r, s);
+        }
+      }
+    }
+    offset += a.cols();
+  }
+  return t;
+}
+
+}  // namespace
+
+TrsvdResult block_lanczos_trsvd(TrsvdOperator& op, std::size_t rank,
+                                const TrsvdOptions& options) {
+  const std::size_t m_local = op.row_local_size();
+  const std::size_t m_global = op.row_global_size();
+  const std::size_t c = op.col_size();
+  HT_CHECK_MSG(rank >= 1, "rank must be positive");
+  HT_CHECK_MSG(rank <= std::min(m_global, c),
+               "rank " << rank << " exceeds min(" << m_global << ", " << c
+                       << ")");
+
+  const std::size_t block =
+      std::min(c, options.block_size > 0
+                      ? options.block_size
+                      : std::clamp<std::size_t>(rank, 4, 16));
+  const std::size_t max_cols =
+      options.max_steps > 0
+          ? std::min(options.max_steps, c)
+          : std::min(c, std::max<std::size_t>(2 * rank + 20, 30));
+
+  TrsvdResult result;
+
+  BasisRows basis(c);
+  std::vector<Matrix> a_blocks;   // diagonal blocks A_j
+  std::vector<Matrix> bt_blocks;  // superdiagonal blocks B_j^T
+  std::uint64_t restart_seed = options.seed;
+
+  // Initial block: seeded random, orthonormalized (deficiency refilled).
+  Matrix v(c, std::min(block, max_cols));
+  {
+    Rng rng(options.seed);
+    for (auto& x : v.flat()) x = rng.normal();
+  }
+  Matrix scratch, scratch2;
+  {
+    const std::size_t kept = orthonormalize_colspace_block(v, scratch);
+    const std::size_t width =
+        fill_deficient_columns(v, kept, v.cols(), basis, restart_seed);
+    HT_CHECK_MSG(width == v.cols(), "degenerate starting block");
+  }
+  basis.append_columns(v, v.cols());
+
+  Matrix w, u, vhat, vhat_orth, u_prev, bt_prev, gram, tmp;
+  std::size_t used = 0;
+  SvdResult tsvd;  // SVD of the projected block bidiagonal matrix
+
+  while (true) {
+    const std::size_t width = v.cols();
+
+    // W = A V_j - U_{j-1} B_{j-1}^T  (row space, block apply).
+    op.apply_block(v, w);
+    result.operator_applies += width;
+    if (u_prev.cols() > 0) {
+      gemm_into(u_prev, bt_prev, tmp);  // (m x w_prev) * (w_prev x w_j)
+      axpy(-1.0, tmp.flat(), w.flat());
+    }
+
+    // U_j = orth(W); A_j = U_j^T W via the operator's global cross-Gram, so
+    // the projected matrix stays exact under deflation drops.
+    u = w;
+    orthonormalize_rowspace_block(op, u, scratch);
+    op.row_gram(u, w, gram);
+    a_blocks.push_back(gram);
+    used += width;
+
+    // What = A^T U_j - V_j A_j^T, block-reorthogonalized against all of V.
+    op.apply_transpose_block(u, vhat);
+    result.operator_applies += width;
+    gemm_into(v, gram.transposed(), tmp);
+    axpy(-1.0, tmp.flat(), vhat.flat());
+    reorthogonalize_block(vhat, basis.matrix());
+
+    // Convergence test on T (once per block step; a step covers b columns,
+    // so this matches the scalar solver's check_interval cadence).
+    if (used >= rank) {
+      tsvd = svd_jacobi(assemble_projected(a_blocks, bt_blocks, used));
+      const double sigma_max = tsvd.s.empty() ? 0.0 : tsvd.s[0];
+      bool all_converged = true;
+      std::vector<double> x(width), resid(c);
+      for (std::size_t i = 0; i < rank && all_converged; ++i) {
+        // Residual of triplet i: || What * (last block of left vector) ||.
+        for (std::size_t r = 0; r < width; ++r) {
+          x[r] = tsvd.u(used - width + r, i);
+        }
+        std::fill(resid.begin(), resid.end(), 0.0);
+        for (std::size_t r = 0; r < c; ++r) {
+          double s = 0.0;
+          for (std::size_t k = 0; k < width; ++k) s += vhat(r, k) * x[k];
+          resid[r] = s;
+        }
+        if (nrm2(resid) > options.tol * std::max(sigma_max, 1e-300)) {
+          all_converged = false;
+        }
+      }
+      if (all_converged) {
+        result.converged = true;
+        break;
+      }
+    }
+    if (used >= max_cols) break;
+
+    // Next block V_{j+1} from What; deficient columns (invariant subspace)
+    // are refilled with fresh directions orthogonal to the basis.
+    const std::size_t next_width = std::min(block, max_cols - used);
+    vhat_orth = vhat;
+    std::size_t kept = orthonormalize_colspace_block(vhat_orth, scratch2);
+    kept = std::min(kept, next_width);
+    Matrix v_next(c, next_width);
+    for (std::size_t j = 0; j < next_width; ++j) {
+      for (std::size_t i = 0; i < c; ++i) v_next(i, j) = vhat_orth(i, j);
+    }
+    const std::size_t final_width = fill_deficient_columns(
+        v_next, kept, next_width, basis, restart_seed);
+    if (final_width == 0) break;  // column space exhausted
+    if (final_width < next_width) {
+      Matrix shrunk(c, final_width);
+      for (std::size_t j = 0; j < final_width; ++j) {
+        for (std::size_t i = 0; i < c; ++i) shrunk(i, j) = v_next(i, j);
+      }
+      v_next = std::move(shrunk);
+    }
+
+    // B_j^T = What^T V_{j+1}, exact for any orthonormal V_{j+1} (refilled
+    // columns included: their overlap with What is what it is).
+    bt_blocks.push_back(gemm_tn(vhat, v_next));
+
+    basis.append_columns(v_next, v_next.cols());
+    u_prev = std::move(u);
+    bt_prev = bt_blocks.back();
+    v = std::move(v_next);
+  }
+
+  result.steps = used;
+  HT_CHECK_MSG(used >= rank, "block Lanczos terminated with " << used
+                               << " columns < rank " << rank);
+
+  if (tsvd.s.size() != used) {
+    tsvd = svd_jacobi(assemble_projected(a_blocks, bt_blocks, used));
+  }
+
+  // Recover left singular vectors in one block apply:
+  // u_i = A (V q_i) / sigma_i.
+  result.sigma.assign(tsvd.s.begin(), tsvd.s.begin() + static_cast<long>(rank));
+  Matrix qcols(used, rank);
+  for (std::size_t r = 0; r < used; ++r) {
+    for (std::size_t i = 0; i < rank; ++i) qcols(r, i) = tsvd.v(r, i);
+  }
+  Matrix vq;  // c x rank
+  gemm_tn_into(basis.matrix(), qcols, vq);
+  Matrix au;
+  op.apply_block(vq, au);
+  result.operator_applies += rank;
+  result.u.resize_zero(m_local, rank);
+  for (std::size_t i = 0; i < rank; ++i) {
+    const double s = result.sigma[i];
+    if (s > 1e-300) {
+      for (std::size_t r = 0; r < m_local; ++r) result.u(r, i) = au(r, i) / s;
+    }
+  }
+  return result;
+}
+
+}  // namespace ht::la

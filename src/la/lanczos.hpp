@@ -16,35 +16,9 @@
 
 #include "la/linear_operator.hpp"
 #include "la/matrix.hpp"
+#include "la/trsvd_types.hpp"
 
 namespace ht::la {
-
-struct TrsvdOptions {
-  /// Residual tolerance relative to the largest singular value.
-  double tol = 1e-10;
-  /// Hard cap on bidiagonalization steps (0 = automatic: min(c, 2*rank+20)).
-  std::size_t max_steps = 0;
-  /// Steps between convergence tests. The test costs an SVD of the
-  /// projected (steps x steps) matrix — running it every step would
-  /// dominate the solve for small operators (and is replicated on every
-  /// rank in the distributed setting).
-  std::size_t check_interval = 4;
-  /// Seed for the deterministic starting vector.
-  std::uint64_t seed = 0x5eed5eedULL;
-};
-
-struct TrsvdResult {
-  /// Leading left singular vectors, row_local_size() x rank.
-  Matrix u;
-  /// Leading singular values, descending.
-  std::vector<double> sigma;
-  /// Bidiagonalization steps performed.
-  std::size_t steps = 0;
-  /// Whether all requested triplets met the residual tolerance.
-  bool converged = false;
-  /// Number of operator applications (A and A^T combined).
-  std::size_t operator_applies = 0;
-};
 
 /// Leading `rank` singular triplets of `op`. rank must satisfy
 /// 1 <= rank <= min(row_global_size, col_size).

@@ -1,0 +1,84 @@
+#include "la/randomized_trsvd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "la/block_ops.hpp"
+#include "la/svd.hpp"
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace ht::la {
+
+TrsvdResult randomized_trsvd(TrsvdOperator& op, std::size_t rank,
+                             const TrsvdOptions& options) {
+  const std::size_t m_global = op.row_global_size();
+  const std::size_t c = op.col_size();
+  HT_CHECK_MSG(rank >= 1, "rank must be positive");
+  HT_CHECK_MSG(rank <= std::min(m_global, c),
+               "rank " << rank << " exceeds min(" << m_global << ", " << c
+                       << ")");
+
+  // Sketch width: oversampling improves the captured subspace; clamping to
+  // c makes the range finder exact whenever the sketch spans all of A's
+  // column space. The max() guards rank + oversample overflowing size_t —
+  // the sketch must never be narrower than the requested rank.
+  const std::size_t l =
+      std::min(c, std::max(rank + options.oversample, rank));
+
+  TrsvdResult result;
+
+  // Seeded Gaussian sketch, identical on every rank (column-space data).
+  Matrix omega(c, l);
+  {
+    Rng rng(options.seed);
+    for (auto& x : omega.flat()) x = rng.normal();
+  }
+
+  Matrix u, z, scratch;
+  op.apply_block(omega, u);
+  result.operator_applies += l;
+  orthonormalize_rowspace_block(op, u, scratch);
+
+  for (std::size_t q = 0; q < options.power_iterations; ++q) {
+    op.apply_transpose_block(u, z);
+    result.operator_applies += l;
+    orthonormalize_colspace_block(z, scratch);
+    op.apply_block(z, u);
+    result.operator_applies += l;
+    orthonormalize_rowspace_block(op, u, scratch);
+  }
+
+  // Rayleigh–Ritz on the sketched matrix: B = A^T U is c x l and small, so
+  // its dense SVD is cheap and replicated-deterministic. B^T = U^T A is the
+  // projection of A onto the captured subspace; its left singular vectors
+  // (the right ones of B) rotate U into the Ritz approximations of A's
+  // leading left singular vectors.
+  op.apply_transpose_block(u, z);
+  result.operator_applies += l;
+  const SvdResult proj = svd_jacobi(z);
+
+  result.sigma.assign(proj.s.begin(),
+                      proj.s.begin() + static_cast<long>(rank));
+  Matrix rotate(l, rank);
+  for (std::size_t i = 0; i < l; ++i) {
+    for (std::size_t j = 0; j < rank; ++j) rotate(i, j) = proj.v(i, j);
+  }
+  gemm_into(u, rotate, result.u);
+
+  // Mirror the scalar solver: directions with (numerically) vanished
+  // singular values are reported as zero columns, and the caller's scatter
+  // path completes them.
+  for (std::size_t j = 0; j < rank; ++j) {
+    if (result.sigma[j] <= 1e-300) {
+      for (std::size_t i = 0; i < result.u.rows(); ++i) result.u(i, j) = 0.0;
+    }
+  }
+
+  result.steps = l;
+  result.converged = true;  // fixed budget; accuracy set by l and q
+  return result;
+}
+
+}  // namespace ht::la

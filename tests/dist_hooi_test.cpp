@@ -245,6 +245,149 @@ TEST(DistHooiTest, PrebuiltPlansCanBeReused) {
   }
 }
 
+TEST(DistTrsvdBackends, MatchSharedMemoryAcrossGrains) {
+  // Each blocked backend over the distributed operator (batched
+  // fold/expand, allreduced Grams) must reproduce the shared-memory run of
+  // the *same* backend — fine and coarse grain alike.
+  const CooTensor x = test_tensor();
+  const std::vector<index_t> r = {4, 4, 4};
+  for (const auto method : {ht::core::TrsvdMethod::kBlockLanczos,
+                            ht::core::TrsvdMethod::kRandomized,
+                            ht::core::TrsvdMethod::kAuto}) {
+    HooiOptions sopt;
+    sopt.ranks = r;
+    sopt.max_iterations = 3;
+    sopt.fit_tolerance = 0.0;
+    sopt.seed = 42;
+    sopt.trsvd_method = method;
+    const HooiResult shared = ht::core::hooi(x, sopt);
+    // Krylov backends iterate each subspace to tolerance, so distributed
+    // reduction-order noise washes out (1e-6). The randomized sketch's
+    // Rayleigh–Ritz rotation is sensitive to last-bit Gram differences on
+    // this tensor's clustered spectra, so its ALS trajectory tracks at fit
+    // tolerance grade instead.
+    const double tol =
+        method == ht::core::TrsvdMethod::kRandomized ? 5e-4 : 1e-6;
+    for (const auto grain : {Grain::kFine, Grain::kCoarse}) {
+      DistHooiOptions dopt =
+          dist_options(r, grain, Method::kHypergraph, 4, 3, 42);
+      dopt.trsvd_method = method;
+      const DistHooiResult dist = ht::dist::dist_hooi(x, dopt);
+      ASSERT_EQ(dist.fits.size(), shared.fits.size());
+      for (std::size_t i = 0; i < dist.fits.size(); ++i) {
+        EXPECT_NEAR(dist.fits[i], shared.fits[i], tol)
+            << ht::core::trsvd_method_name(method) << " "
+            << (grain == Grain::kFine ? "fine" : "coarse") << " iter " << i;
+      }
+    }
+  }
+}
+
+TEST(DistTrsvdBackends, SingleRankBitMatchesSharedMemory) {
+  // p = 1: empty comm lists, identity collectives, and the operator's
+  // row_gram takes the same gemm_tn path as the shared-memory default —
+  // every backend must reproduce core::hooi exactly.
+  const CooTensor x = test_tensor();
+  const std::vector<index_t> r = {4, 4, 4};
+  for (const auto method : {ht::core::TrsvdMethod::kBlockLanczos,
+                            ht::core::TrsvdMethod::kRandomized}) {
+    HooiOptions sopt;
+    sopt.ranks = r;
+    sopt.max_iterations = 3;
+    sopt.fit_tolerance = 0.0;
+    sopt.seed = 42;
+    sopt.trsvd_method = method;
+    const HooiResult shared = ht::core::hooi(x, sopt);
+    DistHooiOptions dopt =
+        dist_options(r, Grain::kFine, Method::kRandom, 1, 3, 42);
+    dopt.trsvd_method = method;
+    const DistHooiResult dist = ht::dist::dist_hooi(x, dopt);
+    ASSERT_EQ(dist.fits.size(), shared.fits.size());
+    for (std::size_t i = 0; i < dist.fits.size(); ++i) {
+      EXPECT_NEAR(dist.fits[i], shared.fits[i], 1e-12)
+          << ht::core::trsvd_method_name(method) << " iteration " << i;
+    }
+  }
+}
+
+TEST(DistTrsvdBackends, BatchedFoldExpandReducesMessageRounds) {
+  // The blocked backends carry b vectors per fold/expand round and batch
+  // the column-space allreduce, so the measured per-TRSVD round count must
+  // drop by roughly the block width versus scalar Lanczos on the same
+  // partition.
+  const CooTensor x = test_tensor();
+  const std::vector<index_t> r = {4, 4, 4};
+  auto opt = dist_options(r, Grain::kFine, Method::kHypergraph, 4, 2, 42);
+  opt.trsvd_method = ht::core::TrsvdMethod::kLanczos;
+  const DistHooiResult scalar = ht::dist::dist_hooi(x, opt);
+  opt.trsvd_method = ht::core::TrsvdMethod::kBlockLanczos;
+  const DistHooiResult blocked = ht::dist::dist_hooi(x, opt);
+  opt.trsvd_method = ht::core::TrsvdMethod::kRandomized;
+  const DistHooiResult randomized = ht::dist::dist_hooi(x, opt);
+
+  const auto scalar_rounds = scalar.stats.total_trsvd_rounds();
+  ASSERT_GT(scalar_rounds, 0u);
+  // Block width is 4 here (clamp(rank, 4, 16)); batching must shave at
+  // least 2x even counting the per-step Gram allreduces the scalar solver
+  // does not make.
+  EXPECT_LT(2 * blocked.stats.total_trsvd_rounds(), scalar_rounds);
+  EXPECT_LT(2 * randomized.stats.total_trsvd_rounds(), scalar_rounds);
+  for (std::size_t n = 0; n < 3; ++n) {
+    EXPECT_GT(scalar.stats.trsvd_rounds_summary(n).avg, 0.0);
+  }
+}
+
+TEST(DistTrsvdBackends, RandomizedSketchDeterministicAcrossRunsAndRanks) {
+  // Fixed seed: the sketch is identical across runs, and identical on
+  // every simulated rank (column-space data is replicated) — so repeated
+  // runs bit-match and the assembled factors agree across rank counts to
+  // reduction-order noise.
+  const CooTensor x = test_tensor();
+  const std::vector<index_t> r = {4, 4, 4};
+  auto opt = dist_options(r, Grain::kFine, Method::kHypergraph, 4, 2, 42);
+  opt.trsvd_method = ht::core::TrsvdMethod::kRandomized;
+  const DistHooiResult a = ht::dist::dist_hooi(x, opt);
+  const DistHooiResult b = ht::dist::dist_hooi(x, opt);
+  ASSERT_EQ(a.fits.size(), b.fits.size());
+  for (std::size_t i = 0; i < a.fits.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.fits[i], b.fits[i]);
+  }
+  for (std::size_t n = 0; n < 3; ++n) {
+    EXPECT_TRUE(a.decomposition.factors[n].approx_equal(
+        b.decomposition.factors[n], 0.0));
+  }
+
+  // Across rank counts the sketch is the same but allreduce groupings
+  // differ at the last bit, which the clustered-spectrum Ritz rotation
+  // amplifies — fits agree at ALS fit-tolerance grade.
+  auto opt2 = dist_options(r, Grain::kFine, Method::kHypergraph, 2, 2, 42);
+  opt2.trsvd_method = ht::core::TrsvdMethod::kRandomized;
+  const DistHooiResult c = ht::dist::dist_hooi(x, opt2);
+  for (std::size_t i = 0; i < a.fits.size(); ++i) {
+    EXPECT_NEAR(a.fits[i], c.fits[i], 5e-4) << "p=4 vs p=2 iteration " << i;
+  }
+}
+
+TEST(DistTrsvdBackends, AutoResolutionIsRecorded) {
+  const CooTensor x = test_tensor();
+  const std::vector<index_t> r = {4, 4, 4};
+  auto opt = dist_options(r, Grain::kCoarse, Method::kBlock, 3, 1, 42);
+  opt.trsvd_method = ht::core::TrsvdMethod::kAuto;
+  const DistHooiResult dist = ht::dist::dist_hooi(x, opt);
+  ASSERT_EQ(dist.trsvd_methods.size(), 3u);
+  for (const auto m : dist.trsvd_methods) {
+    // Small compact problems resolve to the scalar solver.
+    EXPECT_EQ(m, ht::core::TrsvdMethod::kLanczos);
+  }
+}
+
+TEST(DistTrsvdBackends, GramIsRejected) {
+  const CooTensor x = test_tensor();
+  auto opt = dist_options({4, 4, 4}, Grain::kFine, Method::kRandom, 2, 1, 42);
+  opt.trsvd_method = ht::core::TrsvdMethod::kGram;
+  EXPECT_THROW(ht::dist::dist_hooi(x, opt), ht::Error);
+}
+
 TEST(DistHooiTest, HybridThreadsPerRankAgrees) {
   const CooTensor x = test_tensor();
   const std::vector<index_t> r = {4, 4, 4};
