@@ -20,7 +20,11 @@
 //      iteration) vs Gram, and what TrsvdMethod::kAuto resolves
 //      (perf-trajectory entry: a blocked backend must beat scalar Lanczos
 //      on the huge mode, kAuto must match the winner there and stay on
-//      Lanczos for small modes).
+//      Lanczos for small modes);
+//   7. CSF-tree TTMc against the flat-index kernels across prefix-sharing
+//      regimes (perf-trajectory entry: CSF must beat the best flat kernel
+//      on prefix-heavy tensors and kAuto must stay within noise of the
+//      per-tensor winner everywhere).
 //
 // With --json PATH, every arm also appends machine-readable records so CI
 // publishes BENCH_ablation.json instead of hand-copied tables.
@@ -35,6 +39,7 @@
 #include "core/trsvd.hpp"
 #include "core/ttmc.hpp"
 #include "la/lanczos.hpp"
+#include "tensor/csf.hpp"
 #include "tensor/generators.hpp"
 
 namespace {
@@ -46,12 +51,13 @@ namespace {
 double time_ttmc_mode(const ht::tensor::CooTensor& x,
                       const std::vector<ht::la::Matrix>& factors,
                       const ht::core::SymbolicTtmc& sym, std::size_t n,
-                      const ht::core::TtmcOptions& options, int reps) {
+                      const ht::core::TtmcOptions& options, int reps,
+                      const ht::tensor::CsfTree* csf = nullptr) {
   double best = 1e300;
   ht::la::Matrix y;
   for (int rep = 0; rep < reps; ++rep) {
     ht::WallTimer t;
-    ht::core::ttmc_mode(x, factors, n, sym.modes[n], y, options);
+    ht::core::ttmc_mode(x, factors, n, sym.modes[n], y, options, csf);
     best = std::min(best, t.seconds());
   }
   return best;
@@ -121,6 +127,124 @@ void fiber_kernel_ablation(bool smoke, htb::JsonReport& report) {
         .num("t_auto_s", t_auto)
         .num("auto_vs_direct", t_nnz / t_auto);
   }
+}
+
+// Ablation 7: the CSF kernel against the flat-index kernels across prefix
+// regimes, timed as a full per-iteration TTMc sweep (every mode once) plus
+// a per-mode breakdown. The headline is the prefix-heavy arm: at equal
+// flops the CSF walk streams values and trailing coordinates (gathered
+// into tree order at build time) where the flat kernels chase nnz_order ->
+// values/idx — two random reads per nonzero. The input nonzero order can
+// match at most one mode's iteration order, so even when the flat kernels
+// stream one mode they scatter on the rest; CSF's per-mode trees stream
+// all of them. The prefix-free control pins the kAuto streaming rule: CSF
+// only for out-of-cache tensors, flat kernels in cache.
+void csf_kernel_ablation(bool smoke, htb::JsonReport& report) {
+  using namespace ht;
+  std::printf("=== Ablation 7: CSF vs flat-index TTMc kernels ===\n");
+  const tensor::nnz_t target_nnz = smoke ? 20000 : 2000000;
+  const tensor::Shape shape = smoke ? tensor::Shape{200, 200, 400}
+                                    : tensor::Shape{3000, 3000, 5000};
+  const std::vector<tensor::index_t> ranks(3, 10);
+  const int reps = smoke ? 1 : 5;
+
+  std::printf("%-14s %6s %8s %12s %12s %12s %12s %9s %9s %s\n", "tensor",
+              "mode", "avg_len", "per-nnz(s)", "fiber(s)", "csf(s)",
+              "auto(s)", "vs_best", "auto_spd", "auto");
+  struct Arm {
+    std::string name;
+    tensor::CooTensor tensor;
+  };
+  std::vector<Arm> arms;
+  for (const tensor::index_t fiber_len : {4, 16}) {
+    arms.push_back({"fibered_" + std::to_string(fiber_len),
+                    tensor::random_fibered(shape, target_nnz / fiber_len,
+                                           fiber_len, 97)});
+  }
+  arms.push_back({"prefix_free",
+                  tensor::random_fibered(shape, target_nnz, 1, 97)});
+
+  for (const Arm& arm : arms) {
+    const auto& x = arm.tensor;
+    const core::SymbolicTtmc sym = core::SymbolicTtmc::build(x);
+    WallTimer t_build;
+    const tensor::CsfTensor csf = tensor::CsfTensor::build(x);
+    const double csf_build_s = t_build.seconds();
+    const auto factors = core::random_orthonormal_factors(x.shape(), ranks, 7);
+
+    core::TtmcOptions per_nnz, fiber, use_csf, use_auto;
+    per_nnz.kernel = core::TtmcKernel::kPerNnz;
+    fiber.kernel = core::TtmcKernel::kFiberFactored;
+    use_csf.kernel = core::TtmcKernel::kCsf;
+
+    // Per mode: interleaved best-of-reps so drift hits all four alike;
+    // sweep totals are the per-iteration numbers HOOI sees.
+    double s_nnz = 0, s_fib = 0, s_csf = 0, s_auto = 0;
+    std::string picks;
+    for (std::size_t n = 0; n < x.order(); ++n) {
+      double t_nnz = 1e300, t_fib = 1e300, t_csf = 1e300, t_auto = 1e300;
+      for (int rep = 0; rep < reps; ++rep) {
+        t_nnz =
+            std::min(t_nnz, time_ttmc_mode(x, factors, sym, n, per_nnz, 1));
+        t_fib = std::min(t_fib, time_ttmc_mode(x, factors, sym, n, fiber, 1));
+        t_csf = std::min(t_csf, time_ttmc_mode(x, factors, sym, n, use_csf, 1,
+                                               &csf.modes[n]));
+        t_auto = std::min(t_auto, time_ttmc_mode(x, factors, sym, n, use_auto,
+                                                 1, &csf.modes[n]));
+      }
+      const auto picked = core::ttmc_selected_kernel(sym.modes[n], x.order(),
+                                                     {}, &csf.modes[n]);
+      const char* pick_name = picked == core::TtmcKernel::kCsf ? "csf"
+                              : picked == core::TtmcKernel::kFiberFactored
+                                  ? "fiber"
+                                  : "nnz";
+      picks += pick_name[0];
+      const double t_best = std::min({t_nnz, t_fib, t_csf});
+      std::printf("%-14s %6zu %8.2f %12.4f %12.4f %12.4f %12.4f %8.2fx "
+                  "%8.2fx %s\n",
+                  arm.name.c_str(), n, csf.modes[n].avg_leaf_fiber_length(),
+                  t_nnz, t_fib, t_csf, t_auto, std::min(t_nnz, t_fib) / t_csf,
+                  t_best / t_auto, pick_name);
+      report.add()
+          .str("arm", "csf_kernel")
+          .str("tensor", arm.name)
+          .num("mode", static_cast<double>(n))
+          .num("nnz", static_cast<double>(x.nnz()))
+          .num("avg_leaf_fiber_length", csf.modes[n].avg_leaf_fiber_length())
+          .num("prefix_sharing_ratio", csf.modes[n].prefix_sharing_ratio())
+          .num("t_per_nnz_s", t_nnz)
+          .num("t_fiber_s", t_fib)
+          .num("t_csf_s", t_csf)
+          .num("t_auto_s", t_auto)
+          .num("csf_vs_best_flat", std::min(t_nnz, t_fib) / t_csf)
+          .num("auto_vs_winner", t_best / t_auto)
+          .str("auto_pick", pick_name);
+      s_nnz += t_nnz;
+      s_fib += t_fib;
+      s_csf += t_csf;
+      s_auto += t_auto;
+    }
+    const double s_best_flat = std::min(s_nnz, s_fib);
+    const double s_winner = std::min(s_best_flat, s_csf);
+    std::printf("%-14s  sweep          %12.4f %12.4f %12.4f %12.4f %8.2fx "
+                "%8.2fx %s (csf build %.2fs)\n",
+                arm.name.c_str(), s_nnz, s_fib, s_csf, s_auto,
+                s_best_flat / s_csf, s_winner / s_auto, picks.c_str(),
+                csf_build_s);
+    report.add()
+        .str("arm", "csf_kernel_sweep")
+        .str("tensor", arm.name)
+        .num("nnz", static_cast<double>(x.nnz()))
+        .num("t_per_nnz_s", s_nnz)
+        .num("t_fiber_s", s_fib)
+        .num("t_csf_s", s_csf)
+        .num("t_auto_s", s_auto)
+        .num("csf_build_s", csf_build_s)
+        .num("csf_vs_best_flat", s_best_flat / s_csf)
+        .num("auto_vs_winner", s_winner / s_auto)
+        .str("auto_picks", picks);
+  }
+  std::printf("\n");
 }
 
 // Time one HOOI iteration's worth of TTMc per strategy — a full sweep over
@@ -324,6 +448,7 @@ int main(int argc, char** argv) {
 
   htb::JsonReport report(htb::json_path_from_args(argc, argv));
   fiber_kernel_ablation(htb::bench_smoke(), report);
+  csf_kernel_ablation(htb::bench_smoke(), report);
   tree_scheduler_ablation(htb::bench_smoke(), report);
   trsvd_backend_ablation(htb::bench_smoke(), report);
   if (htb::bench_smoke()) {

@@ -2,7 +2,7 @@
 // run HOOI, print fit diagnostics, optionally export the factor matrices.
 //
 //   ./tucker_cli INPUT.tns R1,R2,...  [--iters N] [--tol T] [--threads P]
-//                [--init random|range] [--ttmc-kernel auto|nnz|fiber]
+//                [--init random|range] [--ttmc-kernel auto|nnz|fiber|csf]
 //                [--fiber-threshold T] [--ttmc-strategy auto|direct|tree]
 //                [--trsvd-method lanczos|gram|block|rand|auto]
 //                [--trsvd-block B] [--trsvd-oversample P] [--trsvd-power Q]
@@ -58,7 +58,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: tucker_cli INPUT.tns R1,R2,... [--iters N] [--tol T]"
                " [--threads P] [--init random|range]"
-               " [--ttmc-kernel auto|nnz|fiber] [--fiber-threshold T]"
+               " [--ttmc-kernel auto|nnz|fiber|csf] [--fiber-threshold T]"
                " [--ttmc-strategy auto|direct|tree]"
                " [--trsvd-method lanczos|gram|block|rand|auto]"
                " [--trsvd-block B] [--trsvd-oversample P] [--trsvd-power Q]"
@@ -104,6 +104,8 @@ int main(int argc, char** argv) {
         options.ttmc_kernel = ht::core::TtmcKernel::kPerNnz;
       } else if (v == "fiber") {
         options.ttmc_kernel = ht::core::TtmcKernel::kFiberFactored;
+      } else if (v == "csf") {
+        options.ttmc_kernel = ht::core::TtmcKernel::kCsf;
       } else {
         return usage();
       }

@@ -149,7 +149,8 @@ namespace {
 // expansion per (sub)fiber.
 double direct_mode_cost(const ModeSymbolic& sym, std::size_t order,
                         std::size_t mode, std::span<const index_t> ranks,
-                        const TtmcOptions& options) {
+                        const TtmcOptions& options,
+                        const tensor::CsfTree* csf) {
   const auto nnz = static_cast<double>(sym.nnz_order.size());
   double width = 1.0;
   for (std::size_t t = 0; t < order; ++t) {
@@ -157,7 +158,21 @@ double direct_mode_cost(const ModeSymbolic& sym, std::size_t order,
   }
   const double rows_write = static_cast<double>(sym.num_rows()) * width;
   const double nnz_traffic = nnz * kSlotIndirectCost;
-  if (ttmc_selected_kernel(sym, order, options) == TtmcKernel::kPerNnz) {
+  const TtmcKernel kernel = ttmc_selected_kernel(sym, order, options, csf);
+  if (kernel == TtmcKernel::kCsf) {
+    // Every node at level d pays one expansion of its partial into its
+    // parent's (width of the parent partial); leaves are the d = L-1 term.
+    // Values and coordinates stream in tree order, so the traffic charge is
+    // the pre-gathered one, like the tree scheduler's leaf pass.
+    double cost = rows_write + nnz * kSlotGatheredCost;
+    double level_width = width;  // parent-partial width at level d = 1
+    for (std::size_t d = 1; d < csf->levels(); ++d) {
+      cost += static_cast<double>(csf->num_nodes(d)) * level_width;
+      level_width /= static_cast<double>(ranks[csf->level_modes[d]]);
+    }
+    return cost;
+  }
+  if (kernel == TtmcKernel::kPerNnz) {
     return nnz * width + rows_write + nnz_traffic;
   }
   std::size_t others[3];
@@ -185,16 +200,20 @@ double direct_mode_cost(const ModeSymbolic& sym, std::size_t order,
 TtmcScheduler::TtmcScheduler(const CooTensor& x, const SymbolicTtmc& symbolic,
                              const DimTreePlan* tree,
                              std::span<const index_t> ranks,
-                             const TtmcOptions& options)
+                             const TtmcOptions& options,
+                             const tensor::CsfTensor* csf)
     : x_(&x),
       symbolic_(&symbolic),
       tree_(tree),
+      csf_(csf),
       ranks_(ranks.begin(), ranks.end()),
       options_(options) {
   const std::size_t order = x.order();
   HT_CHECK_MSG(symbolic.modes.size() == order,
                "symbolic structure does not match tensor");
   HT_CHECK_MSG(ranks_.size() == order, "need one rank per mode");
+  HT_CHECK_MSG(csf_ == nullptr || csf_->order() == order,
+               "CSF trees built for another tensor order");
   if (tree_ != nullptr) {
     HT_CHECK_MSG(tree_->order() == order, "tree plan built for another order");
     for (std::size_t n = 0; n < order; ++n) {
@@ -212,8 +231,8 @@ void TtmcScheduler::select_strategies() {
   direct_cost_.assign(order, 0.0);
   serve_cost_.assign(order, 0.0);
   for (std::size_t n = 0; n < order; ++n) {
-    direct_cost_[n] =
-        direct_mode_cost(symbolic_->modes[n], order, n, ranks_, options_);
+    direct_cost_[n] = direct_mode_cost(symbolic_->modes[n], order, n, ranks_,
+                                       options_, csf_tree(n));
   }
   if (tree_ == nullptr) {
     HT_CHECK_MSG(options_.strategy != TtmcStrategy::kTree,
@@ -374,7 +393,8 @@ void TtmcScheduler::compute(const std::vector<la::Matrix>& factors,
   if (selected_[mode] == TtmcStrategy::kTree) {
     serve(factors, mode, nullptr, 0, y);
   } else {
-    ttmc_mode(*x_, factors, mode, symbolic_->modes[mode], y, options_);
+    ttmc_mode(*x_, factors, mode, symbolic_->modes[mode], y, options_,
+              csf_tree(mode));
   }
   // The caller updates factors[mode] next (HOOI's contract): the partial
   // contracted over mode's own group goes stale. Conservative for callers
@@ -392,7 +412,7 @@ void TtmcScheduler::compute_subset(const std::vector<la::Matrix>& factors,
     serve(factors, mode, positions.data(), positions.size(), y);
   } else {
     ttmc_mode_subset(*x_, factors, mode, symbolic_->modes[mode], positions, y,
-                     options_);
+                     options_, csf_tree(mode));
   }
   if (tree_ != nullptr) {
     partial_[tree_->in_left(mode) ? 0 : 1].valid = false;

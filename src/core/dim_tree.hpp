@@ -30,6 +30,17 @@
 // All merge plans (tensor::TtmPlan) are symbolic: they depend only on the
 // nonzero pattern, so one DimTreePlan is reused across iterations, HOOI
 // runs, and the rank grid of a rank sweep.
+//
+// Determinism: plan construction and the numeric applies are pure
+// functions of (tensor pattern, factors) — group orders come from stable
+// radix sorts and every output block has a single writer accumulating in
+// plan order, so results are bitwise reproducible for any thread count or
+// schedule. Thread-safety: DimTreePlan is immutable after build() and may
+// be shared by any number of concurrent TtmcScheduler instances;
+// TtmcScheduler itself is stateful (owns the partial buffers, tracks
+// factor freshness) and must not be used from two threads at once — give
+// each SPMD rank or concurrent HOOI run its own scheduler over the shared
+// plan.
 #pragma once
 
 #include <cstdint>
@@ -112,11 +123,16 @@ class DimTreePlan {
 /// factors outside this pattern must call invalidate().
 class TtmcScheduler {
  public:
-  /// `tree` may be null: every mode is then evaluated directly. `symbolic`,
-  /// `tree`, and `x` must outlive the scheduler.
+  /// `tree` may be null: every mode is then evaluated directly. `csf` may
+  /// be null: the direct path then never uses the CSF kernel (callers that
+  /// want it — hooi, rank_sweep, dist_hooi — consult ttmc_wants_csf and
+  /// build a tensor::CsfTensor up front so its cost lands in the symbolic
+  /// timers and is reused across runs). `symbolic`, `tree`, `csf`, and `x`
+  /// must outlive the scheduler.
   TtmcScheduler(const CooTensor& x, const SymbolicTtmc& symbolic,
                 const DimTreePlan* tree, std::span<const index_t> ranks,
-                const TtmcOptions& options);
+                const TtmcOptions& options,
+                const tensor::CsfTensor* csf = nullptr);
 
   /// Strategy the cost model (or an explicit request) resolved for a mode.
   [[nodiscard]] TtmcStrategy selected(std::size_t mode) const {
@@ -162,9 +178,14 @@ class TtmcScheduler {
              const std::uint32_t* positions, std::size_t npos, la::Matrix& y);
   void select_strategies();
 
+  [[nodiscard]] const tensor::CsfTree* csf_tree(std::size_t mode) const {
+    return csf_ == nullptr ? nullptr : &csf_->modes[mode];
+  }
+
   const CooTensor* x_;
   const SymbolicTtmc* symbolic_;
   const DimTreePlan* tree_;
+  const tensor::CsfTensor* csf_ = nullptr;
   std::vector<index_t> ranks_;
   TtmcOptions options_;
   std::vector<TtmcStrategy> selected_;

@@ -1,6 +1,7 @@
 #include "core/hooi.hpp"
 
 #include <cmath>
+#include <optional>
 
 #include "core/hosvd.hpp"
 #include "la/blas.hpp"
@@ -30,10 +31,11 @@ HooiResult hooi(const CooTensor& x, const HooiOptions& options) {
   parallel::ThreadScope threads(options.num_threads);
 
   WallTimer timer;
-  // An explicit per-nnz request never consults the fiber index; skip the
-  // per-row sorts it would cost.
-  const SymbolicTtmc symbolic = SymbolicTtmc::build(
-      x, /*with_fibers=*/options.ttmc_kernel != TtmcKernel::kPerNnz);
+  // Only kAuto and an explicit fiber request consult the fiber index; skip
+  // the per-row sorts it would cost otherwise (kCsf walks its own trees).
+  const bool with_fibers = options.ttmc_kernel == TtmcKernel::kAuto ||
+                           options.ttmc_kernel == TtmcKernel::kFiberFactored;
+  const SymbolicTtmc symbolic = SymbolicTtmc::build(x, with_fibers);
   const double symbolic_seconds = timer.seconds();
 
   HooiResult result = hooi(x, options, symbolic);
@@ -59,6 +61,12 @@ HooiResult hooi(const CooTensor& x, const HooiOptions& options,
 
 HooiResult hooi(const CooTensor& x, const HooiOptions& options,
                 const SymbolicTtmc& symbolic, const DimTreePlan* tree) {
+  return hooi(x, options, symbolic, tree, nullptr);
+}
+
+HooiResult hooi(const CooTensor& x, const HooiOptions& options,
+                const SymbolicTtmc& symbolic, const DimTreePlan* tree,
+                const tensor::CsfTensor* csf) {
   validate_hooi_options(x, options);
   HT_CHECK_MSG(symbolic.modes.size() == x.order(),
                "symbolic structure does not match tensor");
@@ -76,7 +84,19 @@ HooiResult hooi(const CooTensor& x, const HooiOptions& options,
   const TtmcOptions ttmc_options{options.ttmc_schedule, options.ttmc_kernel,
                                  options.ttmc_fiber_threshold,
                                  options.ttmc_strategy};
-  TtmcScheduler scheduler(x, symbolic, tree, options.ranks, ttmc_options);
+
+  // CSF trees are preprocessing like the symbolic pass and the tree plan:
+  // pattern-only, built once, reused across iterations (and, when the
+  // caller passes them in, across runs and rank grids).
+  std::optional<tensor::CsfTensor> owned_csf;
+  if (csf == nullptr && ttmc_wants_csf(symbolic, ttmc_options)) {
+    WallTimer t_csf;
+    owned_csf.emplace(tensor::CsfTensor::build(x));
+    csf = &*owned_csf;
+    result.timers.symbolic += t_csf.seconds();
+  }
+  TtmcScheduler scheduler(x, symbolic, tree, options.ranks, ttmc_options,
+                          csf);
 
   la::Matrix y;  // compact Y(n), reused across modes/iterations
   la::Matrix last_compact_u;

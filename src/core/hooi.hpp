@@ -83,8 +83,18 @@ HooiResult hooi(const CooTensor& x, const HooiOptions& options,
 /// Run HOOI reusing both a prebuilt symbolic structure and a prebuilt
 /// dimension-tree plan (nullable: no tree => every mode evaluated
 /// directly). rank_sweep shares one plan across its whole rank grid.
+/// Builds CSF trees internally when ttmc_wants_csf says the kernel options
+/// ask for them (time charged to timers.symbolic).
 HooiResult hooi(const CooTensor& x, const HooiOptions& options,
                 const SymbolicTtmc& symbolic, const DimTreePlan* tree);
+
+/// Fully preprocessed variant: additionally reuses prebuilt CSF trees
+/// (nullable: the direct TTMc path then uses the flat-index kernels, or
+/// builds nothing if none are wanted). rank_sweep builds the trees once for
+/// its whole grid; every structure is pattern-only and rank-independent.
+HooiResult hooi(const CooTensor& x, const HooiOptions& options,
+                const SymbolicTtmc& symbolic, const DimTreePlan* tree,
+                const tensor::CsfTensor* csf);
 
 /// Validate options against the tensor; throws ht::InvalidArgument.
 void validate_hooi_options(const CooTensor& x, const HooiOptions& options);

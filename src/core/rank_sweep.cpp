@@ -36,13 +36,22 @@ RankSweepResult rank_sweep(const CooTensor& x,
 
   RankSweepResult result;
   WallTimer t_sym;
-  const SymbolicTtmc symbolic = SymbolicTtmc::build(
-      x, /*with_fibers=*/base.ttmc_kernel != TtmcKernel::kPerNnz);
+  const bool with_fibers = base.ttmc_kernel == TtmcKernel::kAuto ||
+                           base.ttmc_kernel == TtmcKernel::kFiberFactored;
+  const SymbolicTtmc symbolic = SymbolicTtmc::build(x, with_fibers);
   // The dimension-tree plan is symbolic too (it depends on the nonzero
   // pattern only, not the ranks): one plan serves the whole rank grid.
   std::optional<DimTreePlan> tree;
   if (base.ttmc_strategy != TtmcStrategy::kDirect && x.order() >= 2) {
     tree.emplace(DimTreePlan::build(x));
+  }
+  // CSF trees are pattern-only as well: one build serves every rank choice.
+  const TtmcOptions ttmc_options{base.ttmc_schedule, base.ttmc_kernel,
+                                 base.ttmc_fiber_threshold,
+                                 base.ttmc_strategy};
+  std::optional<tensor::CsfTensor> csf;
+  if (ttmc_wants_csf(symbolic, ttmc_options)) {
+    csf.emplace(tensor::CsfTensor::build(x));
   }
   result.symbolic_seconds = t_sym.seconds();
 
@@ -50,8 +59,8 @@ RankSweepResult rank_sweep(const CooTensor& x,
     HooiOptions options = base;
     options.ranks = ranks;
     WallTimer t;
-    const HooiResult run =
-        hooi(x, options, symbolic, tree ? &*tree : nullptr);
+    const HooiResult run = hooi(x, options, symbolic,
+                                tree ? &*tree : nullptr, csf ? &*csf : nullptr);
     RankSweepEntry entry;
     entry.ranks = ranks;
     entry.fit = run.final_fit();

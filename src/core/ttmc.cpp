@@ -279,15 +279,180 @@ void ttmc4_fiber(const CooTensor& x, const std::vector<la::Matrix>& factors,
   });
 }
 
+// ---- CSF kernel ------------------------------------------------------------
+
+// Deepest CSF tree the kernel's fixed-size per-level arrays accommodate;
+// higher orders stay on the general per-nnz kernel (the selection logic
+// never offers CSF trees past this depth to the dispatcher).
+constexpr std::size_t kCsfMaxOrder = 8;
+
+// Read-only per-invocation context of the CSF depth-first walk, shared by
+// every thread (per-thread state is only the partial buffers).
+struct CsfWalkCtx {
+  const tensor::CsfTree* tree = nullptr;
+  std::size_t nlevels = 0;
+  // Per tree level: factor of that level's mode, and the width of a node
+  // partial at that level (product of the ranks of all deeper levels).
+  const la::Matrix* u[kCsfMaxOrder] = {};
+  std::size_t width[kCsfMaxOrder] = {};
+};
+
+// DFS over one subtree: fills part[d] (width[d] doubles) with the node's
+// partial contraction in tree Kronecker order. Leaf runs stream values and
+// trailing coordinates sequentially (they were gathered into tree order at
+// build time); every internal node pays its factor-row expansion exactly
+// once, so shared prefixes amortize across all leaves below them.
+void csf_walk(const CsfWalkCtx& c, std::size_t d, nnz_t node,
+              double* const* part) {
+  double* acc = part[d];
+  std::fill(acc, acc + c.width[d], 0.0);
+  const std::vector<nnz_t>& cptr = c.tree->ptr[d + 1];
+  const nnz_t begin = cptr[node], end = cptr[node + 1];
+  if (d + 2 == c.nlevels) {
+    // Children are leaves: acc has the trailing factor's width.
+    const index_t* leaf_idx = c.tree->idx[c.nlevels - 1].data();
+    const double* vals = c.tree->values.data();
+    const la::Matrix& uf = *c.u[c.nlevels - 1];
+    const std::size_t r = c.width[d];
+    for (nnz_t s = begin; s < end; ++s) {
+      const double v = vals[s];
+      const double* urow = uf.data() + static_cast<std::size_t>(leaf_idx[s]) * r;
+      for (std::size_t j = 0; j < r; ++j) acc[j] += v * urow[j];
+    }
+    return;
+  }
+  const index_t* child_idx = c.tree->idx[d + 1].data();
+  const la::Matrix& uc = *c.u[d + 1];
+  const std::size_t rc = uc.cols();
+  const std::size_t wc = c.width[d + 1];
+  for (nnz_t k = begin; k < end; ++k) {
+    csf_walk(c, d + 1, k, part);
+    const double* child = part[d + 1];
+    const double* urow = uc.data() + static_cast<std::size_t>(child_idx[k]) * rc;
+    for (std::size_t j = 0; j < rc; ++j) {
+      const double s = urow[j];
+      double* dst = acc + j * wc;
+      for (std::size_t q = 0; q < wc; ++q) dst[q] += s * child[q];
+    }
+  }
+}
+
+// Tile target: a tile closes once it holds this many leaves, so one giant
+// root row becomes its own tile while sparse rows coalesce. The constant is
+// independent of the thread count — tiling only partitions work, each row
+// is still accumulated sequentially by one thread, so results are bitwise
+// reproducible for any OpenMP configuration.
+constexpr nnz_t kCsfTileNnz = 8192;
+
+template <typename RowMap>
+void ttmc_csf_tree(const std::vector<la::Matrix>& factors,
+                   const tensor::CsfTree& tree, std::size_t mode,
+                   std::ptrdiff_t nrows, RowMap map, la::Matrix& y,
+                   const TtmcOptions& options) {
+  const std::size_t L = tree.levels();
+  HT_CHECK_MSG(L <= kCsfMaxOrder, "CSF kernel supports tensors up to order 8");
+  CsfWalkCtx c;
+  c.tree = &tree;
+  c.nlevels = L;
+  for (std::size_t d = 0; d < L; ++d) c.u[d] = &factors[tree.level_modes[d]];
+  c.width[L - 1] = 1;
+  for (std::size_t d = L - 1; d-- > 0;) {
+    c.width[d] = c.width[d + 1] * c.u[d + 1]->cols();
+  }
+
+  // The walk produces rows in *tree* Kronecker order (level 1 slowest, the
+  // leaf level fastest). When the shortest-mode-first permutation reordered
+  // the internal levels, a precomputed digit permutation scatters each
+  // finished row into Y(n)'s increasing-mode layout; when the orders agree
+  // the walk writes the output row in place.
+  const bool identity = std::is_sorted(tree.level_modes.begin() + 1,
+                                       tree.level_modes.end());
+  std::vector<std::uint32_t> perm;
+  if (!identity) {
+    std::size_t stride_y[kCsfMaxOrder] = {};  // per tree level, stride in Y(n)'s layout
+    for (std::size_t d = 1; d < L; ++d) {
+      std::size_t stride = 1;
+      for (std::size_t t = factors.size(); t-- > 0;) {
+        if (t == mode) continue;
+        if (t > tree.level_modes[d]) stride *= factors[t].cols();
+      }
+      stride_y[d] = stride;
+    }
+    perm.resize(c.width[0]);
+    for (std::size_t p = 0; p < perm.size(); ++p) {
+      std::size_t rem = p, q = 0;
+      for (std::size_t d = 1; d < L; ++d) {
+        q += (rem / c.width[d]) * stride_y[d];
+        rem %= c.width[d];
+      }
+      perm[p] = static_cast<std::uint32_t>(q);
+    }
+  }
+
+  // nnz-balanced tiles over the output rows.
+  std::vector<std::ptrdiff_t> tile{0};
+  nnz_t acc = 0;
+  for (std::ptrdiff_t r = 0; r < nrows; ++r) {
+    acc += tree.root_nnz(map(r));
+    if (acc >= kCsfTileNnz) {
+      tile.push_back(r + 1);
+      acc = 0;
+    }
+  }
+  if (tile.back() != nrows) tile.push_back(nrows);
+  const auto ntiles = static_cast<std::ptrdiff_t>(tile.size() - 1);
+
+  // Per-thread partial buffers, one per level 0..L-2, from the shared arena.
+  std::size_t off[kCsfMaxOrder] = {};
+  std::size_t total = 0;
+  for (std::size_t d = 0; d + 1 < L; ++d) {
+    off[d] = total;
+    total += c.width[d];
+  }
+
+  const auto body = [&](std::ptrdiff_t ti) {
+    std::vector<double>& buf = kernel_scratch().a;
+    buf.resize(total);
+    double* part[kCsfMaxOrder] = {};
+    for (std::size_t d = 0; d + 1 < L; ++d) part[d] = buf.data() + off[d];
+    for (std::ptrdiff_t r = tile[ti]; r < tile[ti + 1]; ++r) {
+      auto row = y.row(static_cast<std::size_t>(r));
+      if (identity) {
+        part[0] = row.data();  // csf_walk zero-fills before accumulating
+        csf_walk(c, 0, map(r), part);
+      } else {
+        part[0] = buf.data() + off[0];
+        csf_walk(c, 0, map(r), part);
+        const double* src = part[0];
+        for (std::size_t p = 0; p < perm.size(); ++p) row[perm[p]] = src[p];
+      }
+    }
+  };
+  // Chunk size 1: tiles are already coarse, nnz-balanced units.
+  if (options.schedule == Schedule::kDynamic) {
+#pragma omp parallel for schedule(dynamic, 1)
+    for (std::ptrdiff_t ti = 0; ti < ntiles; ++ti) body(ti);
+  } else {
+#pragma omp parallel for schedule(static)
+    for (std::ptrdiff_t ti = 0; ti < ntiles; ++ti) body(ti);
+  }
+}
+
 // ---- dispatch --------------------------------------------------------------
 
 template <typename RowMap>
 void ttmc_dispatch(const CooTensor& x, const std::vector<la::Matrix>& factors,
                    std::size_t mode, const ModeSymbolic& sym,
                    std::ptrdiff_t nrows, RowMap map, la::Matrix& y,
-                   const TtmcOptions& options) {
+                   const TtmcOptions& options, const tensor::CsfTree* csf) {
   const std::size_t order = x.order();
-  const TtmcKernel kernel = ttmc_selected_kernel(sym, order, options);
+  const TtmcKernel kernel = ttmc_selected_kernel(sym, order, options, csf);
+  if (kernel == TtmcKernel::kCsf) {
+    HT_CHECK_MSG(csf->num_roots() == sym.num_rows(),
+                 "CSF tree does not match the symbolic structure");
+    ttmc_csf_tree(factors, *csf, mode, nrows, map, y, options);
+    return;
+  }
   if (order == 3) {
     if (kernel == TtmcKernel::kFiberFactored) {
       ttmc3_fiber(x, factors, mode, sym, nrows, map, y, options);
@@ -320,6 +485,23 @@ void check_inputs(const CooTensor& x, const std::vector<la::Matrix>& factors,
 
 }  // namespace
 
+// Working-set threshold of the kAuto streaming rule: past this many bytes
+// of per-nonzero traffic a flat kernel's random reads leave the last-level
+// cache and the CSF walk's sequential streams win on bandwidth alone.
+// Sized at a typical LLC; the exact value only matters near the boundary,
+// where the kernels tie anyway.
+constexpr double kCsfStreamBytes = 24.0 * 1024.0 * 1024.0;
+
+// The streaming rule itself, shared by kernel selection and the
+// tree-construction gate so the two can never disagree: per nonzero a flat
+// kernel touches the value (8B), the nnz_order indirection (8B), and one
+// 4B index per other mode (order - 1 of them, rounded up to order).
+static bool streaming_favors_csf(std::size_t nnz, std::size_t order) {
+  return static_cast<double>(nnz) *
+             (16.0 + 4.0 * static_cast<double>(order)) >=
+         kCsfStreamBytes;
+}
+
 std::size_t ttmc_row_width(const std::vector<la::Matrix>& factors,
                            std::size_t mode) {
   std::size_t width = 1;
@@ -330,19 +512,69 @@ std::size_t ttmc_row_width(const std::vector<la::Matrix>& factors,
 }
 
 TtmcKernel ttmc_selected_kernel(const ModeSymbolic& sym, std::size_t order,
-                                const TtmcOptions& options) {
+                                const TtmcOptions& options,
+                                const tensor::CsfTree* csf) {
   const bool fiber_capable = (order == 3 || order == 4) && sym.has_fibers();
+  const bool csf_capable = csf != nullptr && csf->levels() == order &&
+                           order >= 2 && order <= kCsfMaxOrder &&
+                           csf->has_values();
   switch (options.kernel) {
     case TtmcKernel::kPerNnz:
       return TtmcKernel::kPerNnz;
     case TtmcKernel::kFiberFactored:
       return fiber_capable ? TtmcKernel::kFiberFactored : TtmcKernel::kPerNnz;
+    case TtmcKernel::kCsf:
+      if (csf_capable) return TtmcKernel::kCsf;
+      return fiber_capable ? TtmcKernel::kFiberFactored : TtmcKernel::kPerNnz;
     case TtmcKernel::kAuto:
       break;
+  }
+  // kAuto with a CSF tree in hand: two independent ways the walk wins.
+  //  (i) Flop amortization — leaf runs long enough that the per-(sub)fiber
+  //      expansion pays, judged by the tree's own leaf-run statistic (its
+  //      shortest-mode-first ordering can group better than the flat
+  //      index's increasing-mode order).
+  // (ii) Memory-bound streaming — once the flat kernels' per-nonzero
+  //      working set (value + other-mode indices + the nnz_order
+  //      indirection) spills out of cache, their two random reads per
+  //      nonzero dominate; the CSF walk streams values and coordinates in
+  //      tree order and wins even on singleton leaf runs (measured ~1.4x
+  //      on a scattered 2M-nnz mode, bench_ablation arm 7). In-cache
+  //      tensors stay on the flat kernels, whose per-row constants are
+  //      lower.
+  if (csf_capable) {
+    if (csf->avg_leaf_fiber_length() >= options.fiber_threshold) {
+      return TtmcKernel::kCsf;
+    }
+    if (streaming_favors_csf(sym.nnz_order.size(), order)) {
+      return TtmcKernel::kCsf;
+    }
   }
   return fiber_capable && sym.avg_fiber_length() >= options.fiber_threshold
              ? TtmcKernel::kFiberFactored
              : TtmcKernel::kPerNnz;
+}
+
+bool ttmc_wants_csf(const SymbolicTtmc& symbolic, const TtmcOptions& options) {
+  const std::size_t order = symbolic.modes.size();
+  if (order < 2 || order > kCsfMaxOrder) return false;
+  // Every mode tree-served by explicit request: the direct kernels — and
+  // therefore the trees — never run.
+  if (options.strategy == TtmcStrategy::kTree) return false;
+  if (options.kernel == TtmcKernel::kCsf) return true;
+  if (options.kernel != TtmcKernel::kAuto) return false;
+  // Order >= 5 has no flat fiber index: CSF is the only factored family,
+  // and the build is the only way to learn whether prefixes are shared.
+  if (order >= 5) return true;
+  for (const ModeSymbolic& m : symbolic.modes) {
+    if (m.has_fibers() && m.avg_fiber_length() >= options.fiber_threshold) {
+      return true;
+    }
+    // Out-of-cache tensors take the streaming branch of the selection rule
+    // whatever their fiber statistics; see kCsfStreamBytes.
+    if (streaming_favors_csf(m.nnz_order.size(), order)) return true;
+  }
+  return false;
 }
 
 void accumulate_kron(const CooTensor& x, nnz_t e,
@@ -368,23 +600,27 @@ void accumulate_kron(const CooTensor& x, nnz_t e,
 
 void ttmc_mode(const CooTensor& x, const std::vector<la::Matrix>& factors,
                std::size_t mode, const ModeSymbolic& sym, la::Matrix& y,
-               const TtmcOptions& options) {
+               const TtmcOptions& options, const tensor::CsfTree* csf) {
   check_inputs(x, factors, mode);
+  HT_CHECK_MSG(csf == nullptr || csf->root_mode() == mode,
+               "CSF tree is rooted at another mode");
   // Capacity-preserving: every kernel zeroes each output row before
   // accumulating, so the realloc+memset of resize_zero would be pure waste
   // when mode widths differ across modes/iterations.
   y.resize(sym.num_rows(), ttmc_row_width(factors, mode));
   ttmc_dispatch(x, factors, mode, sym,
                 static_cast<std::ptrdiff_t>(sym.num_rows()), IdentityRowMap{},
-                y, options);
+                y, options, csf);
 }
 
 void ttmc_mode_subset(const CooTensor& x,
                       const std::vector<la::Matrix>& factors, std::size_t mode,
                       const ModeSymbolic& sym,
                       std::span<const std::uint32_t> positions, la::Matrix& y,
-                      const TtmcOptions& options) {
+                      const TtmcOptions& options, const tensor::CsfTree* csf) {
   check_inputs(x, factors, mode);
+  HT_CHECK_MSG(csf == nullptr || csf->root_mode() == mode,
+               "CSF tree is rooted at another mode");
 
 #ifndef NDEBUG
   // Debug-only: dist_hooi calls this once per mode per HOOI iteration with
@@ -401,7 +637,7 @@ void ttmc_mode_subset(const CooTensor& x,
   const auto npos = static_cast<std::ptrdiff_t>(positions.size());
   y.resize(positions.size(), ttmc_row_width(factors, mode));
   ttmc_dispatch(x, factors, mode, sym, npos, SubsetRowMap{positions}, y,
-                options);
+                options, csf);
 }
 
 }  // namespace ht::core

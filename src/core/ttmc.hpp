@@ -7,17 +7,27 @@
 // Rows are independent (single writer), so the loop is a lock-free OpenMP
 // parfor; the paper uses dynamic scheduling to absorb slice-size skew.
 //
-// Two kernel families are provided per mode:
+// Three kernel families are provided per mode:
 //   per-nnz:        every nonzero pays the full Kronecker-row expansion
 //                   (R_a*R_b flops for 3-mode, R_a*R_b*R_c for 4-mode);
 //   fiber-factored: nonzeros sharing the leading other-mode index (one
 //                   tensor fiber, see the symbolic fiber index) accumulate
 //                   the inner partial t[jb] += v*u_b[jb] at R_b flops each,
 //                   and the fiber expands y += u_a (x) t once — for 4-mode,
-//                   two-level factoring y += u_a (x) (u_b (x) t).
-// TtmcKernel::kAuto picks fiber-factored when the mode's average fiber
-// length clears TtmcOptions::fiber_threshold, falling back to per-nnz on
-// fiber-sparse inputs where the per-fiber expansion would not amortize.
+//                   two-level factoring y += u_a (x) (u_b (x) t);
+//   CSF:            a depth-first walk of the mode's compressed fiber tree
+//                   (tensor/csf.*, any order >= 2): leaf runs accumulate
+//                   the trailing-rank partial from *streamed* values and
+//                   coordinates, every internal node expands its partial
+//                   into its parent's once, and finished root rows are
+//                   scattered from tree Kronecker order into Y(n)'s layout.
+//                   Root subtrees are dispatched in nnz-balanced tiles so
+//                   skewed rows cannot serialize a thread.
+// TtmcKernel::kAuto picks a factored kernel when the mode's average fiber
+// length (flat index or CSF leaf runs) clears TtmcOptions::fiber_threshold,
+// preferring CSF when a tree was supplied (same flops as fiber-factored,
+// strictly less index traffic), and falls back to per-nnz on fiber-sparse
+// inputs where the per-fiber expansion would not amortize.
 #pragma once
 
 #include <cstddef>
@@ -26,6 +36,7 @@
 #include "core/symbolic.hpp"
 #include "la/matrix.hpp"
 #include "tensor/coo_tensor.hpp"
+#include "tensor/csf.hpp"
 
 namespace ht::core {
 
@@ -33,8 +44,10 @@ enum class Schedule { kDynamic, kStatic };
 
 /// Numeric kernel family. kFiberFactored silently degrades to per-nnz when
 /// the symbolic structure carries no fiber index (orders other than 3/4, or
-/// built with with_fibers = false).
-enum class TtmcKernel { kAuto, kPerNnz, kFiberFactored };
+/// built with with_fibers = false). kCsf degrades to the closest available
+/// factored kernel (fiber-factored, then per-nnz) when the caller supplied
+/// no CSF tree for the mode.
+enum class TtmcKernel { kAuto, kPerNnz, kFiberFactored, kCsf };
 
 /// Cross-mode evaluation strategy (consumed by core::TtmcScheduler, not by
 /// the single-mode entry points below):
@@ -56,20 +69,33 @@ struct TtmcOptions {
   TtmcStrategy strategy = TtmcStrategy::kAuto;
 };
 
-/// The kernel kAuto (or an explicit request) resolves to for this mode.
+/// The kernel kAuto (or an explicit request) resolves to for this mode,
+/// given the optional CSF tree rooted at it (nullptr: no CSF available).
 /// Exposed for benches and tests that assert on the heuristic.
 TtmcKernel ttmc_selected_kernel(const ModeSymbolic& sym, std::size_t order,
-                                const TtmcOptions& options);
+                                const TtmcOptions& options,
+                                const tensor::CsfTree* csf = nullptr);
+
+/// Whether the options ask for CSF trees at all: an explicit kCsf request,
+/// or kAuto on a tensor where some mode's statistics favor a factored
+/// kernel (any 3/4-mode with avg fiber length past the threshold, or order
+/// >= 5 where CSF is the only factored family). Callers that own the
+/// preprocessing (hooi, rank_sweep, dist_hooi) use this to decide whether
+/// building a tensor::CsfTensor will pay for itself.
+bool ttmc_wants_csf(const SymbolicTtmc& symbolic, const TtmcOptions& options);
 
 /// Width of Y(n) rows: product of factor column counts over modes != n.
 std::size_t ttmc_row_width(const std::vector<la::Matrix>& factors,
                            std::size_t mode);
 
 /// Compute the compact Y(n): row r corresponds to global row sym.rows[r].
-/// `y` is resized to (sym.num_rows() x ttmc_row_width()).
+/// `y` is resized to (sym.num_rows() x ttmc_row_width()). `csf`, when
+/// non-null, must be the tree rooted at `mode` built from the same tensor
+/// (its root nodes then coincide with the compact symbolic rows).
 void ttmc_mode(const CooTensor& x, const std::vector<la::Matrix>& factors,
                std::size_t mode, const ModeSymbolic& sym, la::Matrix& y,
-               const TtmcOptions& options = {});
+               const TtmcOptions& options = {},
+               const tensor::CsfTree* csf = nullptr);
 
 /// Single-nonzero contribution: out += value * kron_{t != n} U_t(idx_t, :).
 /// Exposed for tests and the fine-grain distributed path.
@@ -85,6 +111,7 @@ void ttmc_mode_subset(const CooTensor& x,
                       const std::vector<la::Matrix>& factors, std::size_t mode,
                       const ModeSymbolic& sym,
                       std::span<const std::uint32_t> positions, la::Matrix& y,
-                      const TtmcOptions& options = {});
+                      const TtmcOptions& options = {},
+                      const tensor::CsfTree* csf = nullptr);
 
 }  // namespace ht::core

@@ -369,9 +369,11 @@ DistHooiResult dist_hooi(const CooTensor& x, const DistHooiOptions& options,
     parallel::ThreadScope threads(options.threads_per_rank);
 
     WallTimer t_symbolic;
-    const core::SymbolicTtmc symbolic = core::SymbolicTtmc::build(
-        rp.local,
-        /*with_fibers=*/options.ttmc_kernel != core::TtmcKernel::kPerNnz);
+    const bool with_fibers =
+        options.ttmc_kernel == core::TtmcKernel::kAuto ||
+        options.ttmc_kernel == core::TtmcKernel::kFiberFactored;
+    const core::SymbolicTtmc symbolic =
+        core::SymbolicTtmc::build(rp.local, with_fibers);
     // Each rank plans its dimension tree over its own local tensor: the
     // merge structure of local nonzeros has nothing to do with the other
     // ranks', and the cost model resolves kAuto per rank.
@@ -379,6 +381,15 @@ DistHooiResult dist_hooi(const CooTensor& x, const DistHooiOptions& options,
     if (options.ttmc_strategy != core::TtmcStrategy::kDirect &&
         rp.local.order() >= 2) {
       tree.emplace(core::DimTreePlan::build(rp.local));
+    }
+    // CSF trees over the rank-local tensor, when the kernel options want
+    // them: the coarse grain then serves its owned rows through the CSF
+    // subset path, the fine grain its local partial rows. Preprocessing,
+    // like the symbolic pass — reused across all iterations.
+    std::optional<tensor::CsfTensor> csf;
+    if (core::ttmc_wants_csf(symbolic, ttmc_options) &&
+        rp.local.nnz() > 0) {
+      csf.emplace(tensor::CsfTensor::build(rp.local));
     }
     core::HooiTimers timers;
     timers.symbolic = t_symbolic.seconds();
@@ -407,7 +418,7 @@ DistHooiResult dist_hooi(const CooTensor& x, const DistHooiOptions& options,
 
     core::TtmcScheduler scheduler(rp.local, symbolic,
                                   tree ? &*tree : nullptr, options.ranks,
-                                  ttmc_options);
+                                  ttmc_options, csf ? &*csf : nullptr);
 
     std::vector<la::Matrix> factors = rp.initial_factors;  // local slices
     std::vector<la::Matrix> full_factors(order);           // assembled U_n

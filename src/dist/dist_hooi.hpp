@@ -51,6 +51,9 @@ struct DistHooiOptions {
   core::Schedule ttmc_schedule = core::Schedule::kDynamic;
   /// TTMc kernel family for the per-rank local kernels (both grains);
   /// kAuto applies the fiber-length heuristic to each rank's local tensor.
+  /// kCsf (and kAuto, when the local statistics favor it) builds CSF trees
+  /// over the rank-local tensor: the coarse grain computes its owned rows
+  /// through the CSF subset path, the fine grain its local partial rows.
   core::TtmcKernel ttmc_kernel = core::TtmcKernel::kAuto;
   double ttmc_fiber_threshold = core::TtmcOptions{}.fiber_threshold;
   /// Cross-mode TTMc strategy, resolved per rank against its local tensor.

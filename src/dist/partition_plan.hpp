@@ -18,6 +18,21 @@
 // ranks); build_rank_plans then materializes per-rank local tensors
 // (reindexed to dense local ids), communication lists, and the initial
 // factor slices for a specific rank vector.
+//
+// Contract: plans are built against one tensor and one PlanOptions; every
+// mode of every rank gets fold/expand lists that are pairwise symmetric
+// (rank p's send list to q equals q's receive list from p, in the same row
+// order), local tensors partition the nonzeros exactly (fine grain) or by
+// whole owned slices (coarse grain), and initial factor slices are derived
+// from the seed so a distributed run is reproducible from (tensor,
+// options) alone. Determinism: partitioners (hypergraph refinement, random
+// placement, block splitting) are seeded and single-threaded per
+// structure; building the same plan twice yields identical ownership,
+// orderings, and communication lists — bench_table2 relies on this to
+// reuse plans across timing runs, and the dist tests on plan equality
+// across repeated builds. Thread-safety: GlobalPlan and RankPlan are
+// immutable after construction and are shared read-only by all SPMD ranks;
+// build_rank_plans itself is not reentrant on a shared output vector.
 #pragma once
 
 #include <cstdint>

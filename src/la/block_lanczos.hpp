@@ -23,6 +23,20 @@
 // become zero rows of T, and deficient V blocks are refilled with fresh
 // seeded random directions orthogonal to the basis (the block analog of the
 // scalar solver's breakdown restart).
+//
+// Contract: `op` must implement the TrsvdOperator block interface (the
+// default scalar-looping implementations suffice); the solver only touches
+// it through apply/apply_transpose/row_gram, so row-distributed operators
+// work unchanged and column-space quantities stay replicated. Determinism:
+// the starting block and every deficiency refill derive from
+// TrsvdOptions::seed, column-space reductions go through the blas layer's
+// tree reductions, and the iteration order is fixed — two runs with the
+// same (operator, options) produce bitwise-identical results for any
+// OpenMP thread count, and identical results on every rank of a
+// distributed run. Thread-safety: block_lanczos_trsvd keeps all mutable
+// state in locals, so concurrent solves over distinct operators are safe;
+// a single operator is only shared when its own apply methods are
+// const-safe (DistYOperator is — per-rank instances).
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,32 @@
+#include "tensor/radix_sort.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace ht::tensor {
+
+std::vector<nnz_t> lexicographic_order(
+    std::size_t entries, std::span<const std::span<const index_t>> keys) {
+  const std::size_t n_entries = entries;
+  std::vector<nnz_t> order(n_entries);
+  std::iota(order.begin(), order.end(), nnz_t{0});
+  std::vector<nnz_t> tmp(n_entries);
+  std::vector<nnz_t> count;
+  // LSD: least-significant key first, each pass stable over the previous.
+  for (std::size_t k = keys.size(); k-- > 0;) {
+    const auto key = keys[k];
+    HT_CHECK_MSG(key.size() == n_entries, "key length mismatch");
+    index_t max_key = 0;
+    for (index_t v : key) max_key = std::max(max_key, v);
+    count.assign(static_cast<std::size_t>(max_key) + 2, 0);
+    for (nnz_t e : order) ++count[key[e] + 1];
+    for (std::size_t i = 1; i < count.size(); ++i) count[i] += count[i - 1];
+    for (nnz_t e : order) tmp[count[key[e]]++] = e;
+    order.swap(tmp);
+  }
+  return order;
+}
+
+}  // namespace ht::tensor

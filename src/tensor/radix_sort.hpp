@@ -1,0 +1,29 @@
+// Stable lexicographic ordering of entry ordinals by coordinate keys.
+//
+// One stable LSD counting-sort pass per key: O(keys * (entries + max_key))
+// with purely sequential sweeps, instead of a comparison sort whose K-way
+// coordinate comparator does O(entries log entries) random reads. Shared by
+// the semi-sparse merge-plan builder and the CSF tree builder — both sort
+// millions of nonzeros by a handful of small-domain coordinates, exactly
+// the shape counting sort is built for.
+//
+// Determinism: the sort is stable and starts from ordinal order, so entry
+// ordinal is the final tie-break — the returned permutation is a pure
+// function of the keys.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/types.hpp"
+
+namespace ht::tensor {
+
+/// Permutation of [0, entries) ordering entries lexicographically by the
+/// given coordinate keys, most-significant first, ties by ordinal. Every
+/// key span must have length `entries`; with no keys the identity
+/// permutation comes back (all entries tie).
+std::vector<nnz_t> lexicographic_order(
+    std::size_t entries, std::span<const std::span<const index_t>> keys);
+
+}  // namespace ht::tensor

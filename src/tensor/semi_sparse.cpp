@@ -3,35 +3,24 @@
 #include <algorithm>
 #include <numeric>
 
+#include "tensor/radix_sort.hpp"
 #include "util/error.hpp"
 
 namespace ht::tensor {
 
 namespace {
 
-// Stable LSD counting sorts over the surviving coordinates (fastest key
-// last): O(keys * (entries + dim)) instead of a comparison sort with a
-// K-way coordinate comparator. The initial ordinal order makes entry
-// ordinal the final tie-break, so plans are deterministic.
+// Stable lexicographic order over the surviving coordinates (the shared
+// LSD counting sort; entry ordinal is the final tie-break, so plans are
+// deterministic).
 std::vector<nnz_t> sort_by_surviving_coords(const PatternView& in,
                                             std::size_t skip_pos) {
-  const std::size_t n_entries = in.entries();
-  std::vector<nnz_t> order(n_entries);
-  std::iota(order.begin(), order.end(), nnz_t{0});
-  std::vector<nnz_t> tmp(n_entries);
-  std::vector<nnz_t> count;
-  for (std::size_t k = in.sparse_modes.size(); k-- > 0;) {
-    if (k == skip_pos) continue;
-    const auto key = in.idx[k];
-    index_t max_key = 0;
-    for (index_t v : key) max_key = std::max(max_key, v);
-    count.assign(static_cast<std::size_t>(max_key) + 2, 0);
-    for (nnz_t e : order) ++count[key[e] + 1];
-    for (std::size_t i = 1; i < count.size(); ++i) count[i] += count[i - 1];
-    for (nnz_t e : order) tmp[count[key[e]]++] = e;
-    order.swap(tmp);
+  std::vector<std::span<const index_t>> keys;
+  keys.reserve(in.sparse_modes.size());
+  for (std::size_t k = 0; k < in.sparse_modes.size(); ++k) {
+    if (k != skip_pos) keys.push_back(in.idx[k]);
   }
-  return order;
+  return lexicographic_order(in.entries(), keys);
 }
 
 }  // namespace

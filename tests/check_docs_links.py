@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Intra-repo markdown link checker (lychee-style, stdlib only).
+
+Scans README.md plus every markdown file under docs/ for inline links and
+verifies that relative targets exist in the repository; for links into
+markdown files, #fragments are checked against GitHub-slugified headings.
+External schemes (http/https/mailto) are skipped — CI must not depend on
+the network. Exits non-zero listing every broken link.
+
+Usage: check_docs_links.py [--root REPO_ROOT]
+Registered as the `check_docs_links` CTest and run by the `docs` CI job.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Inline links/images: [text](target "title"). Reference-style links are
+# rare in this repo; add a second pass here if they appear.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slugification: lowercase, drop punctuation except
+    hyphens/underscores, spaces to hyphens. Markdown emphasis/code markers
+    are stripped before slugging."""
+    text = re.sub(r"[`*_]", "", heading).strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: pathlib.Path) -> set:
+    slugs, seen = set(), {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(1))
+        n = seen.get(slug, 0)
+        seen[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def strip_code(text: str) -> str:
+    """Remove fenced and inline code spans so example links are not checked."""
+    out, in_fence = [], False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            out.append(re.sub(r"`[^`]*`", "", line))
+    return "\n".join(out)
+
+
+def check_file(md: pathlib.Path, root: pathlib.Path, errors: list) -> int:
+    checked = 0
+    for target in LINK_RE.findall(strip_code(md.read_text(encoding="utf-8"))):
+        if target.startswith(EXTERNAL):
+            continue
+        checked += 1
+        path_part, _, fragment = target.partition("#")
+        dest = md if not path_part else (md.parent / path_part).resolve()
+        rel = md.relative_to(root)
+        if not dest.exists():
+            errors.append(f"{rel}: broken link -> {target} (no such file)")
+            continue
+        if path_part and root not in dest.parents and dest != root:
+            errors.append(f"{rel}: link escapes the repository -> {target}")
+            continue
+        if fragment:
+            if dest.suffix.lower() != ".md":
+                errors.append(f"{rel}: fragment on non-markdown -> {target}")
+            elif fragment.lower() not in heading_slugs(dest):
+                errors.append(f"{rel}: broken anchor -> {target}")
+    return checked
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    default_root = pathlib.Path(__file__).resolve().parent.parent
+    parser.add_argument("--root", type=pathlib.Path, default=default_root)
+    root = parser.parse_args().root.resolve()
+
+    files = [root / "README.md"] + sorted((root / "docs").glob("**/*.md"))
+    files = [f for f in files if f.exists()]
+    if len(files) < 2:
+        print(f"error: expected README.md and docs/*.md under {root}")
+        return 2
+
+    errors, checked = [], 0
+    for md in files:
+        checked += check_file(md, root, errors)
+    for e in errors:
+        print(e)
+    print(f"checked {checked} intra-repo links in {len(files)} files: "
+          f"{len(errors)} broken")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

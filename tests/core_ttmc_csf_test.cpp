@@ -1,0 +1,376 @@
+// CSF tree invariants, golden equivalence of the CSF TTMc kernel against
+// the per-nnz and fiber-factored kernels across orders and entry points,
+// the extended kAuto selection, and thread-count determinism.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/hooi.hpp"
+#include "core/rank_sweep.hpp"
+#include "core/symbolic.hpp"
+#include "core/ttmc.hpp"
+#include "dist/dist_hooi.hpp"
+#include "la/matrix.hpp"
+#include "parallel/thread_info.hpp"
+#include "tensor/csf.hpp"
+#include "tensor/generators.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using ht::core::ModeSymbolic;
+using ht::core::Schedule;
+using ht::core::SymbolicTtmc;
+using ht::core::TtmcKernel;
+using ht::core::TtmcOptions;
+using ht::la::Matrix;
+using ht::tensor::CooTensor;
+using ht::tensor::CsfTensor;
+using ht::tensor::CsfTree;
+using ht::tensor::index_t;
+using ht::tensor::nnz_t;
+using ht::tensor::Shape;
+
+Matrix random_matrix(std::size_t m, std::size_t n, std::uint64_t seed) {
+  ht::Rng rng(seed);
+  Matrix a(m, n);
+  for (auto& v : a.flat()) v = rng.uniform(-1.0, 1.0);
+  return a;
+}
+
+std::vector<Matrix> random_factors(const Shape& shape,
+                                   const std::vector<index_t>& ranks,
+                                   std::uint64_t seed) {
+  std::vector<Matrix> f;
+  for (std::size_t n = 0; n < shape.size(); ++n) {
+    f.push_back(random_matrix(shape[n], ranks[n], seed + n));
+  }
+  return f;
+}
+
+// The CSF walk reassociates additions (and may reorder the Kronecker
+// digits), so equivalence is to a tight absolute tolerance.
+constexpr double kTol = 1e-11;
+
+struct CsfCase {
+  std::string name;
+  CooTensor tensor;
+  std::vector<index_t> ranks;
+};
+
+std::vector<CsfCase> equivalence_cases() {
+  std::vector<CsfCase> cases;
+  cases.push_back({"order3_fibered",
+                   ht::tensor::random_fibered(Shape{40, 30, 50}, 300, 6, 11),
+                   {4, 3, 5}});
+  cases.push_back({"order3_scattered",
+                   ht::tensor::random_uniform(Shape{40, 30, 50}, 800, 13),
+                   {4, 3, 5}});
+  cases.push_back({"order4_fibered",
+                   ht::tensor::random_fibered(Shape{15, 12, 10, 40}, 250, 5, 17),
+                   {3, 2, 4, 3}});
+  cases.push_back({"order4_scattered",
+                   ht::tensor::random_uniform(Shape{15, 12, 10, 40}, 700, 19),
+                   {3, 2, 4, 3}});
+  cases.push_back({"order5_fibered",
+                   ht::tensor::random_fibered(Shape{8, 7, 6, 5, 20}, 150, 4, 23),
+                   {2, 2, 2, 2, 3}});
+  return cases;
+}
+
+TEST(CsfTreeTest, StructureInvariantsHoldPerMode) {
+  for (const auto& c : equivalence_cases()) {
+    const auto& x = c.tensor;
+    const CsfTensor csf = CsfTensor::build(x);
+    ASSERT_EQ(csf.order(), x.order());
+    const SymbolicTtmc sym = SymbolicTtmc::build(x);
+    for (std::size_t n = 0; n < x.order(); ++n) {
+      const CsfTree& t = csf.modes[n];
+      const std::size_t L = t.levels();
+      ASSERT_EQ(L, x.order()) << c.name;
+      ASSERT_EQ(t.root_mode(), n);
+
+      // Level modes: a permutation with the internal part shortest-first.
+      std::vector<std::size_t> seen = t.level_modes;
+      std::sort(seen.begin(), seen.end());
+      for (std::size_t m = 0; m < L; ++m) ASSERT_EQ(seen[m], m);
+      for (std::size_t d = 2; d < L; ++d) {
+        ASSERT_LE(x.dim(t.level_modes[d - 1]), x.dim(t.level_modes[d]))
+            << c.name << " mode " << n << ": internal levels not shortest-first";
+      }
+
+      // Root nodes are exactly the compact symbolic rows, in order.
+      ASSERT_EQ(t.num_roots(), sym.modes[n].num_rows());
+      for (std::size_t k = 0; k < t.num_roots(); ++k) {
+        ASSERT_EQ(t.idx[0][k], sym.modes[n].rows[k]);
+      }
+
+      // CSR nesting: ptr[d] spans cover the next level exactly, leaves
+      // count the nonzeros, and leaf_entry is a permutation.
+      ASSERT_EQ(t.num_leaves(), x.nnz());
+      for (std::size_t d = 1; d < L; ++d) {
+        ASSERT_EQ(t.ptr[d].size(), t.num_nodes(d - 1) + 1);
+        ASSERT_EQ(t.ptr[d].front(), 0u);
+        ASSERT_EQ(t.ptr[d].back(), t.num_nodes(d));
+        for (std::size_t k = 0; k + 1 < t.ptr[d].size(); ++k) {
+          ASSERT_LT(t.ptr[d][k], t.ptr[d][k + 1]) << "empty node";
+        }
+      }
+      std::vector<nnz_t> perm_sorted = t.leaf_entry;
+      std::sort(perm_sorted.begin(), perm_sorted.end());
+      for (nnz_t e = 0; e < x.nnz(); ++e) ASSERT_EQ(perm_sorted[e], e);
+
+      // Every leaf below a node shares the node's prefix coordinates, and
+      // values were gathered through the same permutation.
+      for (nnz_t s = 0; s < t.num_leaves(); ++s) {
+        const nnz_t e = t.leaf_entry[s];
+        ASSERT_EQ(t.values[s], x.value(e));
+        ASSERT_EQ(t.idx[L - 1][s], x.index(t.level_modes[L - 1], e));
+      }
+      // Walk each level's spans down to leaves and compare coordinates.
+      for (std::size_t d = 0; d + 1 < L; ++d) {
+        // leaf span of node k at level d: compose ptr[d+1..L-1].
+        for (std::size_t k = 0; k < t.num_nodes(d); ++k) {
+          nnz_t lo = k, hi = k + 1;
+          for (std::size_t e = d + 1; e < L; ++e) {
+            lo = t.ptr[e][lo];
+            hi = t.ptr[e][hi];
+          }
+          for (nnz_t s = lo; s < hi; ++s) {
+            ASSERT_EQ(x.index(t.level_modes[d], t.leaf_entry[s]), t.idx[d][k])
+                << c.name << " mode " << n << " level " << d;
+          }
+          if (d == 0) {
+            ASSERT_EQ(t.root_leaf_ptr[k], lo);
+            ASSERT_EQ(t.root_leaf_ptr[k + 1], hi);
+          }
+        }
+      }
+
+      EXPECT_GT(t.prefix_sharing_ratio(), 0.99);
+      EXPECT_GT(t.avg_leaf_fiber_length(), 0.0);
+    }
+  }
+}
+
+TEST(CsfTreeTest, PatternThenAttachMatchesBuild) {
+  const CooTensor x = ht::tensor::random_fibered(Shape{20, 25, 30}, 120, 5, 7);
+  const CsfTensor full = CsfTensor::build(x);
+  CsfTensor pattern = CsfTensor::build_pattern(x);
+  for (const auto& t : pattern.modes) EXPECT_FALSE(t.has_values());
+  pattern.attach_values(x);
+  for (std::size_t n = 0; n < x.order(); ++n) {
+    ASSERT_TRUE(pattern.modes[n].has_values());
+    EXPECT_EQ(pattern.modes[n].values, full.modes[n].values);
+    EXPECT_EQ(pattern.modes[n].leaf_entry, full.modes[n].leaf_entry);
+  }
+}
+
+TEST(CsfTtmcTest, MatchesOtherKernelsFullModeAllSchedules) {
+  for (const auto& c : equivalence_cases()) {
+    const auto& x = c.tensor;
+    const auto factors = random_factors(x.shape(), c.ranks, 31);
+    const SymbolicTtmc sym = SymbolicTtmc::build(x);
+    const CsfTensor csf = CsfTensor::build(x);
+    for (std::size_t n = 0; n < x.order(); ++n) {
+      for (const Schedule s : {Schedule::kDynamic, Schedule::kStatic}) {
+        Matrix y_nnz, y_fib, y_csf;
+        ht::core::ttmc_mode(x, factors, n, sym.modes[n], y_nnz,
+                            {s, TtmcKernel::kPerNnz});
+        ht::core::ttmc_mode(x, factors, n, sym.modes[n], y_fib,
+                            {s, TtmcKernel::kFiberFactored});
+        ht::core::ttmc_mode(x, factors, n, sym.modes[n], y_csf,
+                            {s, TtmcKernel::kCsf}, &csf.modes[n]);
+        ASSERT_EQ(y_nnz.rows(), y_csf.rows());
+        ASSERT_EQ(y_nnz.cols(), y_csf.cols());
+        EXPECT_TRUE(y_nnz.approx_equal(y_csf, kTol))
+            << c.name << " mode " << n << " vs per-nnz, schedule "
+            << (s == Schedule::kDynamic ? "dynamic" : "static");
+        EXPECT_TRUE(y_fib.approx_equal(y_csf, kTol))
+            << c.name << " mode " << n << " vs fiber";
+      }
+    }
+  }
+}
+
+TEST(CsfTtmcTest, MatchesPerNnzSubsetPath) {
+  for (const auto& c : equivalence_cases()) {
+    const auto& x = c.tensor;
+    const auto factors = random_factors(x.shape(), c.ranks, 37);
+    const SymbolicTtmc sym = SymbolicTtmc::build(x);
+    const CsfTensor csf = CsfTensor::build(x);
+    for (std::size_t n = 0; n < x.order(); ++n) {
+      // Every other compact row, as the coarse-grain owners would request.
+      std::vector<std::uint32_t> positions;
+      for (std::uint32_t p = 0; p < sym.modes[n].num_rows(); p += 2) {
+        positions.push_back(p);
+      }
+      for (const Schedule s : {Schedule::kDynamic, Schedule::kStatic}) {
+        Matrix y_nnz, y_csf;
+        ht::core::ttmc_mode_subset(x, factors, n, sym.modes[n], positions,
+                                   y_nnz, {s, TtmcKernel::kPerNnz});
+        ht::core::ttmc_mode_subset(x, factors, n, sym.modes[n], positions,
+                                   y_csf, {s, TtmcKernel::kCsf},
+                                   &csf.modes[n]);
+        EXPECT_TRUE(y_nnz.approx_equal(y_csf, kTol)) << c.name << " mode " << n;
+      }
+    }
+  }
+}
+
+TEST(CsfTtmcTest, CsfRequestWithoutTreeDegradesExactly) {
+  const CooTensor x = ht::tensor::random_fibered(Shape{25, 20, 40}, 200, 5, 43);
+  const auto factors = random_factors(x.shape(), {3, 3, 3}, 47);
+  const SymbolicTtmc sym = SymbolicTtmc::build(x);
+  // No tree supplied: kCsf resolves to the closest factored kernel.
+  EXPECT_EQ(ht::core::ttmc_selected_kernel(sym.modes[0], 3,
+                                           {.kernel = TtmcKernel::kCsf}),
+            TtmcKernel::kFiberFactored);
+  Matrix y_fib, y_csf;
+  ht::core::ttmc_mode(x, factors, 0, sym.modes[0], y_fib,
+                      {Schedule::kDynamic, TtmcKernel::kFiberFactored});
+  ht::core::ttmc_mode(x, factors, 0, sym.modes[0], y_csf,
+                      {Schedule::kDynamic, TtmcKernel::kCsf});
+  EXPECT_TRUE(y_fib.approx_equal(y_csf, 0.0));  // same kernel ran
+
+  // Without fibers either, the fallback bottoms out at per-nnz.
+  const SymbolicTtmc bare = SymbolicTtmc::build(x, /*with_fibers=*/false);
+  EXPECT_EQ(ht::core::ttmc_selected_kernel(bare.modes[0], 3,
+                                           {.kernel = TtmcKernel::kCsf}),
+            TtmcKernel::kPerNnz);
+}
+
+TEST(CsfTtmcTest, AutoSelectionPinsPrefixRegimes) {
+  // Prefix-heavy: long fibers -> kCsf once a tree is in hand, fiber
+  // otherwise; prefix-free: singleton fibers -> per-nnz either way.
+  const CooTensor heavy =
+      ht::tensor::random_fibered(Shape{30, 30, 60}, 200, 8, 43);
+  const CooTensor free_ =
+      ht::tensor::random_uniform(Shape{200, 200, 200}, 500, 47);
+  const SymbolicTtmc sym_heavy = SymbolicTtmc::build(heavy);
+  const SymbolicTtmc sym_free = SymbolicTtmc::build(free_);
+  const CsfTensor csf_heavy = CsfTensor::build(heavy);
+  const CsfTensor csf_free = CsfTensor::build(free_);
+
+  EXPECT_EQ(ht::core::ttmc_selected_kernel(sym_heavy.modes[0], 3, {},
+                                           &csf_heavy.modes[0]),
+            TtmcKernel::kCsf);
+  EXPECT_EQ(ht::core::ttmc_selected_kernel(sym_heavy.modes[0], 3, {}),
+            TtmcKernel::kFiberFactored);
+  EXPECT_EQ(ht::core::ttmc_selected_kernel(sym_free.modes[0], 3, {},
+                                           &csf_free.modes[0]),
+            TtmcKernel::kPerNnz);
+
+  // ttmc_wants_csf mirrors the same statistics.
+  EXPECT_TRUE(ht::core::ttmc_wants_csf(sym_heavy, {}));
+  EXPECT_FALSE(ht::core::ttmc_wants_csf(sym_free, {}));
+  EXPECT_TRUE(
+      ht::core::ttmc_wants_csf(sym_free, {.kernel = TtmcKernel::kCsf}));
+  EXPECT_FALSE(
+      ht::core::ttmc_wants_csf(sym_heavy, {.kernel = TtmcKernel::kPerNnz}));
+  // Order >= 5 has no flat fiber index: kAuto asks for trees.
+  const CooTensor five =
+      ht::tensor::random_fibered(Shape{8, 7, 6, 5, 20}, 150, 4, 23);
+  EXPECT_TRUE(ht::core::ttmc_wants_csf(SymbolicTtmc::build(five), {}));
+}
+
+TEST(CsfTtmcTest, DeterministicAcrossThreadCounts) {
+  // One row is accumulated by exactly one thread in tree order, and the
+  // tile boundaries do not depend on the team size: results are bitwise
+  // identical for any thread count, under both schedules.
+  const CooTensor x = ht::tensor::random_fibered(Shape{40, 30, 50}, 400, 6, 61);
+  const auto factors = random_factors(x.shape(), {4, 3, 5}, 67);
+  const SymbolicTtmc sym = SymbolicTtmc::build(x);
+  const CsfTensor csf = CsfTensor::build(x);
+  for (const Schedule s : {Schedule::kDynamic, Schedule::kStatic}) {
+    Matrix y1, y4;
+    {
+      ht::parallel::ThreadScope threads(1);
+      ht::core::ttmc_mode(x, factors, 0, sym.modes[0], y1,
+                          {s, TtmcKernel::kCsf}, &csf.modes[0]);
+    }
+    {
+      ht::parallel::ThreadScope threads(4);
+      ht::core::ttmc_mode(x, factors, 0, sym.modes[0], y4,
+                          {s, TtmcKernel::kCsf}, &csf.modes[0]);
+    }
+    EXPECT_TRUE(y1.approx_equal(y4, 0.0));
+  }
+}
+
+TEST(CsfTtmcTest, HooiConvergesIdenticallyUnderCsfKernel) {
+  for (const Shape& shape : {Shape{25, 20, 40}, Shape{12, 10, 8, 25}}) {
+    const CooTensor x = ht::tensor::random_fibered(shape, 300, 5, 53);
+    ht::core::HooiOptions base;
+    base.ranks.assign(x.order(), 3);
+    base.max_iterations = 3;
+    base.fit_tolerance = 0.0;
+
+    ht::core::HooiOptions per_nnz = base;
+    per_nnz.ttmc_kernel = TtmcKernel::kPerNnz;
+    ht::core::HooiOptions with_csf = base;
+    with_csf.ttmc_kernel = TtmcKernel::kCsf;
+
+    const auto a = ht::core::hooi(x, per_nnz);
+    const auto b = ht::core::hooi(x, with_csf);
+    ASSERT_EQ(a.fits.size(), b.fits.size()) << x.order() << "-mode";
+    for (std::size_t i = 0; i < a.fits.size(); ++i) {
+      EXPECT_NEAR(a.fits[i], b.fits[i], 1e-8) << "sweep " << i;
+    }
+
+    // Prebuilt trees through the fully-preprocessed overload: same run.
+    const SymbolicTtmc sym = SymbolicTtmc::build(x, /*with_fibers=*/false);
+    const CsfTensor csf = CsfTensor::build(x);
+    const auto c = ht::core::hooi(x, with_csf, sym, nullptr, &csf);
+    ASSERT_EQ(b.fits.size(), c.fits.size());
+    for (std::size_t i = 0; i < b.fits.size(); ++i) {
+      // Strategy kAuto may resolve differently with/without a dim tree;
+      // fits still agree to ALS grade.
+      EXPECT_NEAR(b.fits[i], c.fits[i], 1e-8) << "sweep " << i;
+    }
+  }
+}
+
+TEST(CsfTtmcTest, RankSweepReusesTreesAcrossGrid) {
+  const CooTensor x = ht::tensor::random_fibered(Shape{25, 20, 40}, 300, 5, 71);
+  ht::core::HooiOptions base;
+  base.max_iterations = 2;
+  base.ttmc_kernel = TtmcKernel::kCsf;
+  const std::vector<std::vector<index_t>> grid = {{2, 2, 2}, {3, 3, 3}};
+  const auto swept = ht::core::rank_sweep(x, grid, base);
+  ASSERT_EQ(swept.entries.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    ht::core::HooiOptions o = base;
+    o.ranks = grid[i];
+    const auto solo = ht::core::hooi(x, o);
+    EXPECT_NEAR(swept.entries[i].fit, solo.final_fit(), 1e-10);
+  }
+}
+
+TEST(CsfTtmcTest, DistHooiMatchesUnderCsfKernelBothGrains) {
+  const CooTensor x = ht::tensor::random_fibered(Shape{25, 20, 40}, 250, 5, 59);
+  for (const auto grain : {ht::dist::Grain::kCoarse, ht::dist::Grain::kFine}) {
+    ht::dist::DistHooiOptions base;
+    base.ranks = {3, 3, 3};
+    base.max_iterations = 2;
+    base.num_ranks = 4;
+    base.grain = grain;  // coarse exercises the CSF subset path
+
+    ht::dist::DistHooiOptions per_nnz = base;
+    per_nnz.ttmc_kernel = TtmcKernel::kPerNnz;
+    ht::dist::DistHooiOptions with_csf = base;
+    with_csf.ttmc_kernel = TtmcKernel::kCsf;
+
+    const auto a = ht::dist::dist_hooi(x, per_nnz);
+    const auto b = ht::dist::dist_hooi(x, with_csf);
+    ASSERT_EQ(a.fits.size(), b.fits.size());
+    for (std::size_t i = 0; i < a.fits.size(); ++i) {
+      EXPECT_NEAR(a.fits[i], b.fits[i], 1e-8)
+          << (grain == ht::dist::Grain::kCoarse ? "coarse" : "fine")
+          << " sweep " << i;
+    }
+  }
+}
+
+}  // namespace

@@ -126,6 +126,32 @@ TEST(SemiSparseTest, TtmChainMatchesTtmcMode) {
   }
 }
 
+// Contracting the last surviving mode leaves zero sort keys (every entry
+// ties): the plan must collapse to one group summing all entries. For a
+// 2-mode tensor the full chain is G = U0^T X U1 in [R0][R1] layout —
+// checked against the dense computation. Regression guard for the shared
+// lexicographic_order's zero-keys identity-permutation behavior.
+TEST(SemiSparseTest, ContractingFinalModeCollapsesToOneGroup) {
+  const CooTensor x = ht::tensor::random_uniform(Shape{7, 9}, 30, 41);
+  const Matrix u0 = random_matrix(7, 3, 43);
+  const Matrix u1 = random_matrix(9, 4, 47);
+  const SemiSparse full = ht::tensor::ttm_contract(
+      ht::tensor::ttm_contract(SemiSparse::lift(x), 0, u0), 1, u1);
+  ASSERT_TRUE(full.sparse_modes.empty());
+  ASSERT_EQ(full.entries(), 1u);
+  ASSERT_EQ(full.block, 12u);
+  for (std::size_t r0 = 0; r0 < 3; ++r0) {
+    for (std::size_t r1 = 0; r1 < 4; ++r1) {
+      double want = 0.0;
+      for (nnz_t e = 0; e < x.nnz(); ++e) {
+        want += x.value(e) * u0(x.index(0, e), r0) * u1(x.index(1, e), r1);
+      }
+      EXPECT_NEAR(full.values[r0 * 4 + r1], want, 1e-12)
+          << "r0=" << r0 << " r1=" << r1;
+    }
+  }
+}
+
 // Prepending a factor must equal appending it in the other order: for a
 // 3-mode tensor, (X x2 U2) with U1 prepended == (X x1 U1) x2 U2.
 TEST(SemiSparseTest, PrependMatchesAppendInSwappedOrder) {
