@@ -24,12 +24,18 @@
 //   7. CSF-tree TTMc against the flat-index kernels across prefix-sharing
 //      regimes (perf-trajectory entry: CSF must beat the best flat kernel
 //      on prefix-heavy tensors and kAuto must stay within noise of the
-//      per-tensor winner everywhere).
+//      per-tensor winner everywhere);
+//   8. model-store load path — heap (kCopy, checksummed owned buffers) vs
+//      mmap (kMap, zero-copy views) bundle loads, cold and warm, plus the
+//      first-query latency after each (perf-trajectory entry: the mmap
+//      cold load must not scale with model size the way the heap load
+//      does, and must copy zero payload bytes).
 //
 // With --json PATH, every arm also appends machine-readable records so CI
 // publishes BENCH_ablation.json instead of hand-copied tables.
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 
 #include "bench_common.hpp"
 #include "core/dim_tree.hpp"
@@ -38,7 +44,9 @@
 #include "core/symbolic.hpp"
 #include "core/trsvd.hpp"
 #include "core/ttmc.hpp"
+#include "core/tucker_model.hpp"
 #include "la/lanczos.hpp"
+#include "storage/bundle.hpp"
 #include "tensor/csf.hpp"
 #include "tensor/generators.hpp"
 
@@ -441,6 +449,99 @@ void trsvd_backend_ablation(bool smoke, htb::JsonReport& report) {
   std::printf("\n");
 }
 
+// Arm 8: the model-store load path. A trained TuckerModel (with CSF trees,
+// the large part of a bundle) is saved once, then loaded back through both
+// materialization modes. "Cold" is the first in-process load after the
+// write and "warm" the best of the following loads — both run against a
+// warm page cache, so what the cold/warm gap and the heap/mmap gap measure
+// is the work the loader itself does (checksum + copy vs header-and-table
+// only), which is exactly the part that scales with model size. The first
+// query after each load pays the mmap path's deferred page faults, so
+// load + first query is the honest end-to-end latency comparison.
+void model_store_ablation(bool smoke, htb::JsonReport& report) {
+  using namespace ht;
+  std::printf("=== Ablation 8: model store — heap vs mmap bundle load ===\n");
+
+  const tensor::Shape shape =
+      smoke ? tensor::Shape{60, 50, 40} : tensor::Shape{800, 600, 400};
+  const tensor::nnz_t nnz = smoke ? 20000 : 2000000;
+  const std::vector<tensor::index_t> ranks(3, smoke ? 8 : 16);
+  const auto x = tensor::random_zipf(shape, nnz, {0.8, 0.9, 0.5}, 23);
+
+  core::HooiOptions options;
+  options.ranks = ranks;
+  options.max_iterations = 3;
+  options.fit_tolerance = 0.0;
+  const core::SymbolicTtmc symbolic = core::SymbolicTtmc::build(x);
+  auto result = core::hooi(x, options, symbolic, nullptr);
+  auto model = core::TuckerModel::from_hooi(x, std::move(result));
+  model.csf =
+      std::make_shared<tensor::CsfTensor>(tensor::CsfTensor::build(x));
+
+  const std::string path = "bench_model_store.htb";
+  storage::save_bundle(model, path);
+  const auto info = storage::inspect_bundle(path);
+
+  const std::vector<tensor::index_t> probe{
+      static_cast<tensor::index_t>(shape[0] / 2),
+      static_cast<tensor::index_t>(shape[1] / 2),
+      static_cast<tensor::index_t>(shape[2] / 2)};
+
+  std::printf("bundle: %llu bytes, %zu sections (csf attached)\n",
+              static_cast<unsigned long long>(info.header.file_bytes),
+              info.sections.size());
+  std::printf("%-6s %-5s %10s %14s %14s\n", "path", "temp", "load(s)",
+              "first_query(s)", "bytes_copied");
+  struct Mode {
+    const char* name;
+    storage::LoadMode mode;
+  };
+  for (const Mode& m : {Mode{"heap", storage::LoadMode::kCopy},
+                        Mode{"mmap", storage::LoadMode::kMap}}) {
+    const int warm_reps = smoke ? 3 : 5;
+    double load_s = 0.0, query_s = 0.0;
+    std::uint64_t copied = 0;
+    double warm_load = 1e300, warm_query = 1e300;
+    for (int rep = 0; rep <= warm_reps; ++rep) {
+      storage::CopyStats::reset();
+      WallTimer t_load;
+      const auto loaded = storage::load_bundle(path, m.mode);
+      const double tl = t_load.seconds();
+      WallTimer t_query;
+      const double v = loaded.reconstruct_at(probe);
+      const double tq = t_query.seconds();
+      if (v == 1e300) std::printf("unreachable\n");  // keep the query live
+      if (rep == 0) {
+        load_s = tl;
+        query_s = tq;
+        copied = storage::CopyStats::bytes();
+      } else {
+        warm_load = std::min(warm_load, tl);
+        warm_query = std::min(warm_query, tq);
+      }
+    }
+    std::printf("%-6s %-5s %10.5f %14.6f %14llu\n", m.name, "cold", load_s,
+                query_s, static_cast<unsigned long long>(copied));
+    std::printf("%-6s %-5s %10.5f %14.6f %14llu\n", m.name, "warm", warm_load,
+                warm_query, static_cast<unsigned long long>(copied));
+    for (const bool warm : {false, true}) {
+      report.add()
+          .str("arm", "model_store")
+          .str("path", m.name)
+          .str("temp", warm ? "warm" : "cold")
+          .num("load_s", warm ? warm_load : load_s)
+          .num("first_query_s", warm ? warm_query : query_s)
+          .num("load_plus_query_s", warm ? warm_load + warm_query
+                                         : load_s + query_s)
+          .num("bytes_copied", static_cast<double>(copied))
+          .num("file_bytes", static_cast<double>(info.header.file_bytes))
+          .num("sections", static_cast<double>(info.sections.size()));
+    }
+  }
+  std::remove(path.c_str());
+  std::printf("\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -451,6 +552,7 @@ int main(int argc, char** argv) {
   csf_kernel_ablation(htb::bench_smoke(), report);
   tree_scheduler_ablation(htb::bench_smoke(), report);
   trsvd_backend_ablation(htb::bench_smoke(), report);
+  model_store_ablation(htb::bench_smoke(), report);
   if (htb::bench_smoke()) {
     std::printf("[smoke] skipping ablations 1-3 (HT_SMOKE=1)\n");
     report.write();

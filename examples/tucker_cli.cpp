@@ -6,21 +6,35 @@
 //                [--fiber-threshold T] [--ttmc-strategy auto|direct|tree]
 //                [--trsvd-method lanczos|gram|block|rand|auto]
 //                [--trsvd-block B] [--trsvd-oversample P] [--trsvd-power Q]
-//                [--export PREFIX] [--sweep]
+//                [--export PREFIX] [--sweep] [--save-model FILE.htb]
+//   ./tucker_cli --load-model FILE.htb [--copy]
+//   ./tucker_cli --inspect-model FILE.htb [--verify]
+//   ./tucker_cli --version
 //
 // With --sweep, the ranks argument is treated as the *maximum* per mode and
 // HOOI is run for a ladder of candidate ranks (reusing one symbolic TTMc),
-// reporting the fit of each — the rank-selection workflow from the paper.
+// reporting the fit of each — the rank-selection workflow from the paper
+// (--save-model then stores the sweep's best model).
+//
+// --load-model restores a saved bundle — mmap'd zero-copy by default,
+// heap copies with --copy — and prints its shape, fit, and provenance.
+// --inspect-model reads only the header and section table; --verify
+// additionally checks every payload checksum.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/hooi.hpp"
 #include "core/rank_sweep.hpp"
+#include "core/tucker_model.hpp"
+#include "storage/bundle.hpp"
 #include "tensor/io.hpp"
 #include "util/table.hpp"
+#include "util/version.hpp"
 
 namespace {
 
@@ -62,13 +76,77 @@ int usage() {
                " [--ttmc-strategy auto|direct|tree]"
                " [--trsvd-method lanczos|gram|block|rand|auto]"
                " [--trsvd-block B] [--trsvd-oversample P] [--trsvd-power Q]"
-               " [--export PREFIX] [--sweep]\n");
+               " [--export PREFIX] [--sweep] [--save-model FILE.htb]\n"
+               "       tucker_cli --load-model FILE.htb [--copy]\n"
+               "       tucker_cli --inspect-model FILE.htb [--verify]\n"
+               "       tucker_cli --version\n");
   return 2;
+}
+
+void print_model(const ht::core::TuckerModel& m, bool mapped) {
+  std::string dims, ranks;
+  const auto r = m.ranks();
+  for (std::size_t n = 0; n < m.dims.size(); ++n) {
+    if (n) { dims += "x"; ranks += "x"; }
+    dims += std::to_string(m.dims[n]);
+    ranks += std::to_string(r[n]);
+  }
+  std::printf("model: %s -> core %s, fit %.6f, csf %s (%s load, %llu bytes"
+              " copied)\n",
+              dims.c_str(), ranks.c_str(), m.fit,
+              m.has_csf() ? "yes" : "no", mapped ? "mmap" : "heap",
+              static_cast<unsigned long long>(ht::storage::CopyStats::bytes()));
+  std::printf("%s", m.provenance_text().c_str());
+}
+
+int run_load_model(const std::string& path, bool copy) {
+  try {
+    ht::storage::CopyStats::reset();
+    const auto m = ht::storage::load_bundle(
+        path, copy ? ht::storage::LoadMode::kCopy
+                   : ht::storage::LoadMode::kMap);
+    print_model(m, !copy);
+  } catch (const ht::Error& e) {
+    std::fprintf(stderr, "error loading %s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+  return 0;
+}
+
+int run_inspect_model(const std::string& path, bool verify) {
+  try {
+    const auto info = ht::storage::inspect_bundle(path);
+    std::printf("%s", ht::storage::describe_bundle(info).c_str());
+    if (verify) {
+      ht::storage::BundleReader reader(path, ht::storage::LoadMode::kMap);
+      reader.verify_all();
+      std::printf("all %zu payload checksums ok\n", info.sections.size());
+    }
+  } catch (const ht::Error& e) {
+    std::fprintf(stderr, "error inspecting %s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Model-file and informational modes take no tensor/ranks positionals.
+  if (argc >= 2 && std::strcmp(argv[1], "--version") == 0) {
+    std::printf("%s\n", ht::version_line().c_str());
+    std::printf("compiler: %s\nflags: %s (%s)\n", ht::kCompiler,
+                ht::kCompileFlags, ht::kBuildType);
+    return 0;
+  }
+  if (argc >= 3 && std::strcmp(argv[1], "--load-model") == 0) {
+    return run_load_model(argv[2],
+                          argc >= 4 && std::strcmp(argv[3], "--copy") == 0);
+  }
+  if (argc >= 3 && std::strcmp(argv[1], "--inspect-model") == 0) {
+    return run_inspect_model(
+        argv[2], argc >= 4 && std::strcmp(argv[3], "--verify") == 0);
+  }
   if (argc < 3) return usage();
 
   const std::string input = argv[1];
@@ -78,6 +156,7 @@ int main(int argc, char** argv) {
   options.max_iterations = 20;
   options.fit_tolerance = 1e-5;
   std::string export_prefix;
+  std::string save_model_path;
   bool sweep = false;
 
   for (int a = 3; a < argc; ++a) {
@@ -140,6 +219,8 @@ int main(int argc, char** argv) {
       options.trsvd.power_iterations = static_cast<std::size_t>(v);
     } else if (arg == "--export") {
       export_prefix = next();
+    } else if (arg == "--save-model") {
+      save_model_path = next();
     } else if (arg == "--sweep") {
       sweep = true;
     } else {
@@ -189,11 +270,41 @@ int main(int argc, char** argv) {
       }
       std::printf("%s(symbolic built once: %.3fs)\n",
                   table.to_string().c_str(), sweep_result.symbolic_seconds);
+      if (!save_model_path.empty() && sweep_result.best_model) {
+        ht::storage::save_bundle(*sweep_result.best_model, save_model_path);
+        std::printf("saved best sweep model to %s\n", save_model_path.c_str());
+      }
       return 0;
     }
 
     options.ranks = max_ranks;
-    const auto result = ht::core::hooi(x, options);
+    ht::core::HooiResult result;
+    std::shared_ptr<const ht::tensor::CsfTensor> csf;
+    if (save_model_path.empty()) {
+      result = ht::core::hooi(x, options);
+    } else {
+      // Saving a model: run the preprocessing here (the same structures
+      // hooi would build internally) so the CSF trees can ride along in
+      // the bundle instead of being discarded with the solver state.
+      const bool with_fibers =
+          options.ttmc_kernel == ht::core::TtmcKernel::kAuto ||
+          options.ttmc_kernel == ht::core::TtmcKernel::kFiberFactored;
+      const auto symbolic = ht::core::SymbolicTtmc::build(x, with_fibers);
+      std::optional<ht::core::DimTreePlan> tree;
+      if (options.ttmc_strategy != ht::core::TtmcStrategy::kDirect &&
+          x.order() >= 2) {
+        tree.emplace(ht::core::DimTreePlan::build(x));
+      }
+      const ht::core::TtmcOptions ttmc_options{
+          options.ttmc_schedule, options.ttmc_kernel,
+          options.ttmc_fiber_threshold, options.ttmc_strategy};
+      if (ht::core::ttmc_wants_csf(symbolic, ttmc_options)) {
+        csf = std::make_shared<ht::tensor::CsfTensor>(
+            ht::tensor::CsfTensor::build(x));
+      }
+      result = ht::core::hooi(x, options, symbolic,
+                              tree ? &*tree : nullptr, csf.get());
+    }
     std::printf("fit %.6f after %d sweeps (converged=%s)\n",
                 result.final_fit(), result.iterations,
                 result.converged ? "yes" : "no");
@@ -202,6 +313,12 @@ int main(int argc, char** argv) {
                 result.timers.trsvd, result.timers.core);
     if (!export_prefix.empty()) {
       export_factors(result.decomposition, export_prefix);
+    }
+    if (!save_model_path.empty()) {
+      auto model = ht::core::TuckerModel::from_hooi(x, std::move(result));
+      model.csf = std::move(csf);
+      ht::storage::save_bundle(model, save_model_path);
+      std::printf("saved model to %s\n", save_model_path.c_str());
     }
   } catch (const ht::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

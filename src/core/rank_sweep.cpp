@@ -1,5 +1,6 @@
 #include "core/rank_sweep.hpp"
 
+#include <memory>
 #include <numeric>
 #include <optional>
 
@@ -55,18 +56,30 @@ RankSweepResult rank_sweep(const CooTensor& x,
   }
   result.symbolic_seconds = t_sym.seconds();
 
+  double best_fit = -1.0;
   for (const auto& ranks : candidates) {
     HooiOptions options = base;
     options.ranks = ranks;
     WallTimer t;
-    const HooiResult run = hooi(x, options, symbolic,
-                                tree ? &*tree : nullptr, csf ? &*csf : nullptr);
+    HooiResult run = hooi(x, options, symbolic,
+                          tree ? &*tree : nullptr, csf ? &*csf : nullptr);
     RankSweepEntry entry;
     entry.ranks = ranks;
     entry.fit = run.final_fit();
     entry.iterations = run.iterations;
     entry.seconds = t.seconds();
+    if (entry.fit > best_fit) {
+      best_fit = entry.fit;
+      result.best_model = TuckerModel::from_hooi(x, std::move(run));
+    }
     result.entries.push_back(std::move(entry));
+  }
+  // The sweep's CSF trees are pattern-only and rank-independent, so the
+  // winning model can carry them into a bundle: a serve/restart process
+  // then runs kCsf TTMc without re-sorting the tensor.
+  if (result.best_model && csf) {
+    result.best_model->csf =
+        std::make_shared<tensor::CsfTensor>(std::move(*csf));
   }
   return result;
 }

@@ -6,9 +6,11 @@
 // all of them — this utility is that workflow.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "core/hooi.hpp"
+#include "core/tucker_model.hpp"
 
 namespace ht::core {
 
@@ -23,6 +25,11 @@ struct RankSweepResult {
   std::vector<RankSweepEntry> entries;
   /// Seconds spent building the shared symbolic structure (paid once).
   double symbolic_seconds = 0.0;
+  /// The best-fit run packaged as a first-class model (provenance stamped,
+  /// shared CSF trees attached when the sweep built them), ready for
+  /// storage::save_bundle. Only the winner is kept — the sweep never holds
+  /// more than one extra decomposition.
+  std::optional<TuckerModel> best_model;
 
   /// Entry with the smallest core that reaches `fit_fraction` of the best
   /// observed fit (a simple elbow heuristic).

@@ -306,7 +306,7 @@ void csf_walk(const CsfWalkCtx& c, std::size_t d, nnz_t node,
               double* const* part) {
   double* acc = part[d];
   std::fill(acc, acc + c.width[d], 0.0);
-  const std::vector<nnz_t>& cptr = c.tree->ptr[d + 1];
+  const nnz_t* cptr = c.tree->ptr[d + 1].data();
   const nnz_t begin = cptr[node], end = cptr[node + 1];
   if (d + 2 == c.nlevels) {
     // Children are leaves: acc has the trailing factor's width.

@@ -1,0 +1,63 @@
+#include "core/tucker_model.hpp"
+
+#include "util/version.hpp"
+
+namespace ht::core {
+
+std::string TuckerModel::provenance_value(const std::string& key) const {
+  for (const auto& [k, v] : provenance) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+std::string TuckerModel::provenance_text() const {
+  std::string s;
+  for (const auto& [k, v] : provenance) {
+    s += k;
+    s += '=';
+    s += v;
+    s += '\n';
+  }
+  return s;
+}
+
+std::vector<std::pair<std::string, std::string>>
+TuckerModel::build_provenance() {
+  return {
+      {"version", kVersion},
+      {"git_hash", kGitHash},
+      {"compiler", kCompiler},
+      {"compile_flags", kCompileFlags},
+      {"build_type", kBuildType},
+  };
+}
+
+namespace {
+
+TuckerModel assemble(const tensor::CooTensor& x, TuckerDecomposition dec,
+                     const HooiResult& result) {
+  TuckerModel m;
+  m.decomposition = std::move(dec);
+  m.dims = x.shape();
+  m.fit = result.final_fit();
+  m.provenance = TuckerModel::build_provenance();
+  m.provenance.emplace_back("iterations", std::to_string(result.iterations));
+  m.provenance.emplace_back("converged", result.converged ? "1" : "0");
+  m.provenance.emplace_back("nnz", std::to_string(x.nnz()));
+  return m;
+}
+
+}  // namespace
+
+TuckerModel TuckerModel::from_hooi(const tensor::CooTensor& x,
+                                   const HooiResult& result) {
+  return assemble(x, result.decomposition, result);
+}
+
+TuckerModel TuckerModel::from_hooi(const tensor::CooTensor& x,
+                                   HooiResult&& result) {
+  return assemble(x, std::move(result.decomposition), result);
+}
+
+}  // namespace ht::core

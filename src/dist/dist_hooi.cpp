@@ -10,7 +10,9 @@
 #include "core/symbolic.hpp"
 #include "core/trsvd.hpp"
 #include "core/ttmc.hpp"
+#include "core/tucker_model.hpp"
 #include "la/blas.hpp"
+#include "storage/bundle.hpp"
 #include "parallel/thread_info.hpp"
 #include "smp/communicator.hpp"
 #include "tensor/dense_tensor.hpp"
@@ -217,6 +219,71 @@ LoadSummary summarize_cells(const DistStats& stats, std::size_t mode,
   return summarize_load(values);
 }
 
+// ---- rank-local restart checkpoints -----------------------------------------
+//
+// Each rank's checkpoint is a small model bundle holding only its local
+// factor slices plus provenance meta. Ranks write disjoint files, so there
+// is no cross-rank coordination; the atomic temp+rename inside the writer
+// means a run killed mid-checkpoint leaves the previous checkpoint intact.
+
+std::string checkpoint_path(const std::string& dir, int rank) {
+  return dir + "/rank" + std::to_string(rank) + ".htb";
+}
+
+bool checkpoint_exists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+void save_checkpoint(const std::string& path,
+                     const std::vector<la::Matrix>& factors, int rank,
+                     int iterations) {
+  const std::string tmp = path + ".tmp";
+  {
+    storage::BundleWriter w(tmp);
+    std::string meta;
+    meta += "kind=dist_checkpoint\n";
+    meta += "rank=" + std::to_string(rank) + "\n";
+    meta += "iterations=" + std::to_string(iterations) + "\n";
+    for (const auto& [key, value] : core::TuckerModel::build_provenance()) {
+      meta += "prov:" + key + "=" + value + "\n";
+    }
+    w.add_section(storage::SectionKind::kMeta, 0, 0, 1, meta.data(),
+                  meta.size(), meta.size(), 1);
+    for (std::size_t n = 0; n < factors.size(); ++n) {
+      const la::Matrix& f = factors[n];
+      w.add_section(storage::SectionKind::kFactor,
+                    static_cast<std::uint32_t>(n), 0, sizeof(double),
+                    f.data(), f.size() * sizeof(double), f.rows(), f.cols());
+    }
+    w.finish();
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw IoError("cannot move checkpoint into place: " + path);
+  }
+}
+
+// Replace the plan's random initial slices with the checkpointed ones.
+// LoadMode::kCopy on purpose: the loop keeps mutating the factors.
+void load_checkpoint(const std::string& path,
+                     std::vector<la::Matrix>& factors) {
+  storage::BundleReader r(path, storage::LoadMode::kCopy);
+  for (std::size_t n = 0; n < factors.size(); ++n) {
+    const storage::SectionEntry& e =
+        r.require(storage::SectionKind::kFactor, static_cast<std::uint32_t>(n));
+    HT_CHECK_MSG(e.rows == factors[n].rows() && e.cols == factors[n].cols(),
+                 "checkpoint factor " << n << " shape mismatch (got "
+                                      << e.rows << "x" << e.cols
+                                      << ", plan wants " << factors[n].rows()
+                                      << "x" << factors[n].cols() << ")");
+    storage::Span<double> s = r.load<double>(e);
+    factors[n] = la::Matrix(e.rows, e.cols, std::move(s.vec()));
+  }
+}
+
 }  // namespace
 
 LoadSummary DistStats::ttmc_summary(std::size_t mode) const {
@@ -421,6 +488,15 @@ DistHooiResult dist_hooi(const CooTensor& x, const DistHooiOptions& options,
                                   ttmc_options, csf ? &*csf : nullptr);
 
     std::vector<la::Matrix> factors = rp.initial_factors;  // local slices
+    // Warm restart: adopt this rank's factor slices from a previous run's
+    // checkpoint when one exists. Only the initialization changes — the
+    // iteration loop is oblivious, so a 2-iteration checkpoint followed by
+    // a 2-iteration restart walks the same fit trajectory as 4 straight
+    // iterations.
+    if (!options.checkpoint_dir.empty()) {
+      const std::string ckpt = checkpoint_path(options.checkpoint_dir, rank);
+      if (checkpoint_exists(ckpt)) load_checkpoint(ckpt, factors);
+    }
     std::vector<la::Matrix> full_factors(order);           // assembled U_n
     la::Matrix y;  // local part of compact Y(n), reused across modes
     tensor::DenseTensor core_tensor;
@@ -527,6 +603,11 @@ DistHooiResult dist_hooi(const CooTensor& x, const DistHooiOptions& options,
       previous_fit = fit;
     }
     const double loop_seconds = loop_timer.seconds();
+
+    if (!options.checkpoint_dir.empty()) {
+      save_checkpoint(checkpoint_path(options.checkpoint_dir, rank), factors,
+                      rank, iterations);
+    }
 
     // Slowest-rank step times (every rank participates in the reductions).
     core::HooiTimers reduced;

@@ -71,6 +71,13 @@ struct DistHooiOptions {
   la::TrsvdOptions trsvd = {.tol = 1e-7};
   /// Hypergraph partitioner imbalance tolerance (plan construction only).
   double epsilon = 0.10;
+  /// Directory for rank-local restart bundles ("" = no checkpointing).
+  /// When set, every rank writes its local factor slices to
+  /// <dir>/rank<r>.htb (storage/bundle.hpp format) after its iteration
+  /// loop, and a later run over the same plan warm-starts from those
+  /// slices instead of the plan's random initialization — the fit
+  /// trajectory continues exactly where the checkpointed run stopped.
+  std::string checkpoint_dir;
 };
 
 /// Per-mode/per-rank loads of one HOOI iteration (paper Table III).

@@ -5,12 +5,27 @@
 
 namespace ht::la {
 
-void Matrix::set_zero() { std::fill(data_.begin(), data_.end(), 0.0); }
+Matrix Matrix::view(std::size_t rows, std::size_t cols, const double* data,
+                    storage::ArenaPtr arena) {
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.store_ =
+      storage::Span<double>::view(data, rows * cols, std::move(arena));
+  m.refresh();
+  return m;
+}
+
+void Matrix::set_zero() {
+  auto& v = store_.vec();
+  std::fill(v.begin(), v.end(), 0.0);
+}
 
 void Matrix::resize_zero(std::size_t rows, std::size_t cols) {
   rows_ = rows;
   cols_ = cols;
-  data_.assign(rows * cols, 0.0);
+  store_.vec().assign(rows * cols, 0.0);
+  refresh();
 }
 
 void Matrix::resize(std::size_t rows, std::size_t cols) {
@@ -18,12 +33,13 @@ void Matrix::resize(std::size_t rows, std::size_t cols) {
   cols_ = cols;
   // vector::resize never shrinks capacity: repeated reshapes between mode
   // widths settle at the largest size and stop allocating.
-  data_.resize(rows * cols);
+  store_.vec().resize(rows * cols);
+  refresh();
 }
 
 double Matrix::frobenius_norm() const {
   double s = 0.0;
-  for (double v : data_) s += v * v;
+  for (double v : flat()) s += v * v;
   return std::sqrt(s);
 }
 
@@ -43,8 +59,8 @@ Matrix Matrix::identity(std::size_t n) {
 
 bool Matrix::approx_equal(const Matrix& other, double tol) const {
   if (rows_ != other.rows_ || cols_ != other.cols_) return false;
-  for (std::size_t k = 0; k < data_.size(); ++k) {
-    if (std::abs(data_[k] - other.data_[k]) > tol) return false;
+  for (std::size_t k = 0; k < size(); ++k) {
+    if (std::abs(ptr_[k] - other.ptr_[k]) > tol) return false;
   }
   return true;
 }

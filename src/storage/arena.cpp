@@ -1,0 +1,8 @@
+#include "storage/arena.hpp"
+
+namespace ht::storage {
+
+std::atomic<std::uint64_t> CopyStats::bytes_copied{0};
+std::atomic<std::uint64_t> CopyStats::copies{0};
+
+}  // namespace ht::storage

@@ -1,0 +1,73 @@
+#include "storage/mapped_file.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define HT_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define HT_HAVE_MMAP 0
+#endif
+
+namespace ht::storage {
+
+MappedFile::~MappedFile() {
+#if HT_HAVE_MMAP
+  if (mapped_ != nullptr) ::munmap(mapped_, map_length_);
+#endif
+}
+
+std::shared_ptr<MappedFile> MappedFile::open(const std::string& path) {
+  // std::make_shared cannot reach the private constructor; the explicit
+  // shared_ptr keeps the ctor hidden from everyone else.
+  std::shared_ptr<MappedFile> f(new MappedFile());
+  f->path_ = path;
+#if HT_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw IoError("cannot open " + path);
+  struct stat st = {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw IoError("cannot stat " + path);
+  }
+  const auto length = static_cast<std::size_t>(st.st_size);
+  if (length == 0) {
+    ::close(fd);
+    return f;  // valid empty arena; mmap(0) is not portable
+  }
+  void* p = ::mmap(nullptr, length, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping holds its own reference to the file
+  if (p == MAP_FAILED) throw IoError("cannot mmap " + path);
+  f->mapped_ = p;
+  f->map_length_ = length;
+  f->data_ = static_cast<const std::byte*>(p);
+  f->size_ = length;
+#else
+  std::FILE* fp = std::fopen(path.c_str(), "rb");
+  if (fp == nullptr) throw IoError("cannot open " + path);
+  std::fseek(fp, 0, SEEK_END);
+  const long end = std::ftell(fp);
+  if (end < 0) {
+    std::fclose(fp);
+    throw IoError("cannot determine size of " + path);
+  }
+  std::fseek(fp, 0, SEEK_SET);
+  f->fallback_.resize(static_cast<std::size_t>(end));
+  const std::size_t got =
+      f->fallback_.empty()
+          ? 0
+          : std::fread(f->fallback_.data(), 1, f->fallback_.size(), fp);
+  std::fclose(fp);
+  if (got != f->fallback_.size()) throw IoError("short read of " + path);
+  f->data_ = f->fallback_.data();
+  f->size_ = f->fallback_.size();
+#endif
+  return f;
+}
+
+}  // namespace ht::storage

@@ -1,0 +1,53 @@
+// Read-only memory-mapped file arena.
+//
+// MappedFile mmap()s a whole file PROT_READ and exposes it as an Arena, so
+// loading a model bundle is O(1) in the data size: the section table is
+// validated eagerly, the payload pages fault in lazily as queries touch
+// them, and the dataset can exceed physical RAM (the kernel evicts clean
+// pages freely — they are backed by the file itself). This is the mechanism
+// behind LoadMode::kMap in storage/bundle.hpp and the prerequisite for the
+// out-of-core roadmap items.
+//
+// On platforms without mmap (gated on POSIX feature macros) open() falls
+// back to reading the file into a HeapArena-style buffer — same interface,
+// no zero-copy guarantee (resident() reports true in that case).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/arena.hpp"
+
+namespace ht::storage {
+
+class MappedFile final : public Arena {
+ public:
+  ~MappedFile() override;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Map `path` read-only; throws ht::IoError on open/stat/map failure.
+  /// An empty file maps to a valid zero-length arena.
+  static std::shared_ptr<MappedFile> open(const std::string& path);
+
+  [[nodiscard]] const std::byte* data() const override { return data_; }
+  [[nodiscard]] std::size_t size() const override { return size_; }
+  /// False for a real mapping (pages fault in on demand); true when the
+  /// no-mmap fallback read the file into heap memory.
+  [[nodiscard]] bool resident() const override { return mapped_ == nullptr; }
+  [[nodiscard]] std::string origin() const override { return path_; }
+
+ private:
+  MappedFile() = default;
+
+  std::string path_;
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  void* mapped_ = nullptr;        // munmap target (null under the fallback)
+  std::size_t map_length_ = 0;    // munmap length
+  std::vector<std::byte> fallback_;  // heap copy when mmap is unavailable
+};
+
+}  // namespace ht::storage

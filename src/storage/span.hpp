@@ -1,0 +1,129 @@
+// Owned-or-borrowed typed buffer: the view layer every HyperTensor data
+// structure holds its arrays through.
+//
+// A Span<T> is in one of two states:
+//   - owned: wraps a std::vector<T> (the default; mutable via vec()). This
+//     is the train-time state and is behaviorally identical to the plain
+//     vector members it replaced.
+//   - view: a (pointer, size) window into a shared Arena — typically a
+//     MappedFile holding a model bundle — kept alive by shared_ptr. Views
+//     are strictly read-only; every mutating accessor throws ht::Error, so
+//     a serve-time structure can never scribble on (or fault writing to) a
+//     PROT_READ mapping.
+//
+// Reads (data/size/operator[]/iteration) work identically in both states,
+// which is what lets the TTMc/TRSVD kernels run unchanged on heap-owned and
+// mmap-backed memory: they already consume std::span<const T> built from
+// data()+size() once per call. The accessors branch on the state instead of
+// caching pointers, so mutating the owned vector through vec() can never
+// leave a stale cached pointer behind.
+//
+// Copying an owned Span deep-copies the vector (value semantics, as
+// before); copying a view copies the window and shares the arena (cheap —
+// serve-time readers hand models around by value without duplicating the
+// mapping). detach() converts a view into an owned deep copy and records
+// the copy in CopyStats (the zero-copy test hook).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "storage/arena.hpp"
+#include "util/error.hpp"
+
+namespace ht::storage {
+
+template <typename T>
+class Span {
+ public:
+  using value_type = T;
+  using const_iterator = const T*;
+
+  Span() = default;
+
+  /// Owned state, taking the vector over (implicit on purpose: assigning a
+  /// freshly built std::vector to a structure member keeps working).
+  /*implicit*/ Span(std::vector<T> v) : own_(std::move(v)) {}
+
+  /// View state: a window of `size` elements at `data` inside `arena`.
+  /// The arena participates in shared ownership; `data` must stay valid for
+  /// the arena's lifetime.
+  static Span view(const T* data, std::size_t size, ArenaPtr arena) {
+    HT_CHECK_MSG(data != nullptr || size == 0, "null view with nonzero size");
+    Span s;
+    s.view_ = data;
+    s.view_size_ = size;
+    s.arena_ = std::move(arena);
+    return s;
+  }
+
+  // ---- state ---------------------------------------------------------------
+
+  [[nodiscard]] bool is_view() const { return arena_ != nullptr; }
+  /// The backing arena of a view (nullptr in the owned state).
+  [[nodiscard]] const ArenaPtr& arena() const { return arena_; }
+
+  // ---- read access (both states) -------------------------------------------
+
+  [[nodiscard]] const T* data() const {
+    return is_view() ? view_ : own_.data();
+  }
+  [[nodiscard]] std::size_t size() const {
+    return is_view() ? view_size_ : own_.size();
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] const T& operator[](std::size_t i) const { return data()[i]; }
+  [[nodiscard]] const T& front() const { return data()[0]; }
+  [[nodiscard]] const T& back() const { return data()[size() - 1]; }
+  [[nodiscard]] const_iterator begin() const { return data(); }
+  [[nodiscard]] const_iterator end() const { return data() + size(); }
+
+  /*implicit*/ operator std::span<const T>() const { return {data(), size()}; }
+  /// Materialize a heap copy (tests and small metadata paths).
+  /*implicit*/ operator std::vector<T>() const { return {begin(), end()}; }
+
+  // ---- mutation (owned state only) -----------------------------------------
+
+  /// The underlying vector; mutate freely (reads always consult the vector,
+  /// nothing caches its data pointer). Throws on a view.
+  [[nodiscard]] std::vector<T>& vec() {
+    HT_CHECK_MSG(!is_view(), "cannot mutate a storage view (mmap-backed "
+                             "buffers are read-only; detach() first)");
+    return own_;
+  }
+  [[nodiscard]] T* mutable_data() { return vec().data(); }
+
+  /// Replace a view with an owned deep copy (no-op when already owned).
+  /// Records the copied bytes in CopyStats.
+  void detach() {
+    if (!is_view()) return;
+    std::vector<T> copy(view_, view_ + view_size_);
+    CopyStats::record(view_size_ * sizeof(T));
+    arena_.reset();
+    view_ = nullptr;
+    view_size_ = 0;
+    own_ = std::move(copy);
+  }
+
+  /// Element-wise equality (state-agnostic: a view equals the owned copy of
+  /// the same data).
+  friend bool operator==(const Span& a, const Span& b) {
+    if (a.size() != b.size()) return false;
+    if (a.data() == b.data()) return true;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (!(a[i] == b[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<T> own_;
+  const T* view_ = nullptr;
+  std::size_t view_size_ = 0;
+  ArenaPtr arena_;
+};
+
+}  // namespace ht::storage

@@ -14,20 +14,43 @@ CooTensor::CooTensor(Shape shape) : shape_(std::move(shape)) {
   indices_.resize(shape_.size());
 }
 
+CooTensor CooTensor::from_views(Shape shape,
+                                std::vector<storage::Span<index_t>> indices,
+                                storage::Span<value_t> values) {
+  CooTensor x(std::move(shape));
+  HT_CHECK_MSG(indices.size() == x.order(),
+               "need one index array per mode");
+  for (const auto& idx : indices) {
+    HT_CHECK_MSG(idx.size() == values.size(),
+                 "index array length does not match value count");
+  }
+  x.indices_ = std::move(indices);
+  x.values_ = std::move(values);
+  return x;
+}
+
+bool CooTensor::is_view() const {
+  if (values_.is_view()) return true;
+  for (const auto& idx : indices_) {
+    if (idx.is_view()) return true;
+  }
+  return false;
+}
+
 void CooTensor::push_back(std::span<const index_t> idx, value_t value) {
   HT_CHECK_MSG(idx.size() == order(), "coordinate arity mismatch");
   for (std::size_t n = 0; n < order(); ++n) {
     HT_CHECK_MSG(idx[n] < shape_[n], "index " << idx[n] << " out of bounds for"
                                               << " mode " << n << " (size "
                                               << shape_[n] << ")");
-    indices_[n].push_back(idx[n]);
+    indices_[n].vec().push_back(idx[n]);
   }
-  values_.push_back(value);
+  values_.vec().push_back(value);
 }
 
 void CooTensor::reserve(nnz_t n) {
-  for (auto& v : indices_) v.reserve(n);
-  values_.reserve(n);
+  for (auto& v : indices_) v.vec().reserve(n);
+  values_.vec().reserve(n);
 }
 
 void CooTensor::sort_lexicographic() {
@@ -46,17 +69,18 @@ void CooTensor::sort_lexicographic() {
   for (std::size_t m = 0; m < order(); ++m) {
     std::vector<index_t> tmp(n);
     for (nnz_t t = 0; t < n; ++t) tmp[t] = indices_[m][perm[t]];
-    indices_[m] = std::move(tmp);
+    indices_[m].vec() = std::move(tmp);
   }
   std::vector<value_t> tmpv(n);
   for (nnz_t t = 0; t < n; ++t) tmpv[t] = values_[perm[t]];
-  values_ = std::move(tmpv);
+  values_.vec() = std::move(tmpv);
 }
 
 void CooTensor::sum_duplicates() {
   if (empty()) return;
   sort_lexicographic();
   const nnz_t n = nnz();
+  std::vector<value_t>& vals = values_.vec();
   nnz_t w = 0;  // write cursor
   for (nnz_t t = 1; t < n; ++t) {
     bool same = true;
@@ -67,18 +91,18 @@ void CooTensor::sum_duplicates() {
       }
     }
     if (same) {
-      values_[w] += values_[t];
+      vals[w] += vals[t];
     } else {
       ++w;
       for (std::size_t m = 0; m < order(); ++m) {
-        indices_[m][w] = indices_[m][t];
+        indices_[m].vec()[w] = indices_[m][t];
       }
-      values_[w] = values_[t];
+      vals[w] = vals[t];
     }
   }
   const nnz_t kept = w + 1;
-  for (std::size_t m = 0; m < order(); ++m) indices_[m].resize(kept);
-  values_.resize(kept);
+  for (std::size_t m = 0; m < order(); ++m) indices_[m].vec().resize(kept);
+  vals.resize(kept);
 }
 
 double CooTensor::norm2_squared() const {
@@ -100,9 +124,9 @@ CooTensor CooTensor::select(std::span<const nnz_t> ordinals) const {
   for (nnz_t t : ordinals) {
     HT_CHECK_MSG(t < nnz(), "ordinal " << t << " out of range");
     for (std::size_t m = 0; m < order(); ++m) {
-      out.indices_[m].push_back(indices_[m][t]);
+      out.indices_[m].vec().push_back(indices_[m][t]);
     }
-    out.values_.push_back(values_[t]);
+    out.values_.vec().push_back(values_[t]);
   }
   return out;
 }

@@ -4,6 +4,14 @@
 // value array. The nonzero-based TTMc kernel reads every mode index of every
 // nonzero, and the symbolic pass streams one mode's array at a time — both
 // favor SoA over an array-of-tuples layout.
+//
+// The arrays are held through storage::Span: heap-owned by default (fully
+// mutable, the train-time state), or read-only views into a shared
+// storage::Arena (from_views — the mmap-backed serve/out-of-core state).
+// All read paths work identically in both states; the mutating entry points
+// (push_back, sort_lexicographic, sum_duplicates, non-const indices()/
+// values()) throw ht::Error on a view instead of writing through a
+// read-only mapping.
 #pragma once
 
 #include <cstddef>
@@ -11,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "storage/span.hpp"
 #include "tensor/types.hpp"
 #include "util/error.hpp"
 
@@ -23,22 +32,36 @@ class CooTensor {
   /// Empty tensor with the given shape.
   explicit CooTensor(Shape shape);
 
+  /// Zero-copy tensor over externally backed index/value arrays (one index
+  /// span per mode, all of equal length). The spans' arenas are kept alive
+  /// for the tensor's lifetime.
+  static CooTensor from_views(Shape shape,
+                              std::vector<storage::Span<index_t>> indices,
+                              storage::Span<value_t> values);
+
   [[nodiscard]] std::size_t order() const { return shape_.size(); }
   [[nodiscard]] const Shape& shape() const { return shape_; }
   [[nodiscard]] index_t dim(std::size_t mode) const { return shape_[mode]; }
   [[nodiscard]] nnz_t nnz() const { return values_.size(); }
   [[nodiscard]] bool empty() const { return values_.empty(); }
 
+  /// True when any buffer is a read-only view into a shared arena.
+  [[nodiscard]] bool is_view() const;
+
   /// Index array of one mode (length nnz).
   [[nodiscard]] std::span<const index_t> indices(std::size_t mode) const {
     return indices_[mode];
   }
   [[nodiscard]] std::span<index_t> indices(std::size_t mode) {
-    return indices_[mode];
+    auto& v = indices_[mode].vec();
+    return {v.data(), v.size()};
   }
 
   [[nodiscard]] std::span<const value_t> values() const { return values_; }
-  [[nodiscard]] std::span<value_t> values() { return values_; }
+  [[nodiscard]] std::span<value_t> values() {
+    auto& v = values_.vec();
+    return {v.data(), v.size()};
+  }
 
   /// Mode index of nonzero t along mode n.
   [[nodiscard]] index_t index(std::size_t mode, nnz_t t) const {
@@ -78,8 +101,8 @@ class CooTensor {
 
  private:
   Shape shape_;
-  std::vector<std::vector<index_t>> indices_;  // [mode][nonzero]
-  std::vector<value_t> values_;
+  std::vector<storage::Span<index_t>> indices_;  // [mode][nonzero]
+  storage::Span<value_t> values_;
 };
 
 }  // namespace ht::tensor

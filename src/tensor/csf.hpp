@@ -37,12 +37,16 @@
 #include <cstddef>
 #include <vector>
 
+#include "storage/span.hpp"
 #include "tensor/coo_tensor.hpp"
 #include "tensor/types.hpp"
 
 namespace ht::tensor {
 
-/// Compressed fiber tree rooted at one mode.
+/// Compressed fiber tree rooted at one mode. The node arrays are held
+/// through storage::Span — heap-owned when built from a CooTensor, or
+/// zero-copy views into an mmap'd model bundle (storage/bundle.hpp); the
+/// kCsf kernel and the structure invariants are identical in both states.
 struct CsfTree {
   /// Tree level -> tensor mode; level_modes[0] is the root mode, the rest
   /// are the remaining modes shortest-first. Size = tensor order.
@@ -51,18 +55,18 @@ struct CsfTree {
   /// Level 0 enumerates the non-empty root-mode rows in increasing order —
   /// node k IS compact row k of core::ModeSymbolic for the root mode. The
   /// deepest level has one entry per nonzero, in tree order.
-  std::vector<std::vector<index_t>> idx;
+  std::vector<storage::Span<index_t>> idx;
   /// ptr[d] (d >= 1, size num_nodes(d-1) + 1): node k at level d-1 owns the
   /// level-d children [ptr[d][k], ptr[d][k+1]). ptr[0] is empty.
-  std::vector<std::vector<nnz_t>> ptr;
+  std::vector<storage::Span<nnz_t>> ptr;
   /// Leaf slot -> original nonzero ordinal (the pattern-only gather map).
-  std::vector<nnz_t> leaf_entry;
+  storage::Span<nnz_t> leaf_entry;
   /// Leaf span under each root subtree (size num_roots() + 1): the nnz
   /// weights the kernel's tile scheduler balances on.
-  std::vector<nnz_t> root_leaf_ptr;
+  storage::Span<nnz_t> root_leaf_ptr;
   /// Tensor values gathered into leaf order; empty until attach_values()
   /// (or build(), which gathers immediately).
-  std::vector<double> values;
+  storage::Span<double> values;
 
   [[nodiscard]] std::size_t levels() const { return level_modes.size(); }
   [[nodiscard]] std::size_t root_mode() const { return level_modes[0]; }

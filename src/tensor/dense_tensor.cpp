@@ -18,7 +18,35 @@ DenseTensor::DenseTensor(Shape shape) : shape_(std::move(shape)) {
     total *= d;
     HT_CHECK_MSG(total <= kDenseSizeLimit, "dense tensor too large");
   }
-  data_.assign(total, 0.0);
+  data_ = std::vector<double>(total, 0.0);
+}
+
+DenseTensor::DenseTensor(Shape shape, std::vector<double> data)
+    : shape_(std::move(shape)) {
+  HT_CHECK_MSG(!shape_.empty(), "tensor order must be >= 1");
+  std::size_t total = 1;
+  for (index_t d : shape_) {
+    HT_CHECK_MSG(d > 0, "all mode sizes must be positive");
+    total *= d;
+  }
+  HT_CHECK_MSG(data.size() == total,
+               "flat buffer size " << data.size() << " != shape product "
+                                   << total);
+  data_ = std::move(data);
+}
+
+DenseTensor DenseTensor::view(Shape shape, const double* data,
+                              storage::ArenaPtr arena) {
+  DenseTensor t;
+  t.shape_ = std::move(shape);
+  HT_CHECK_MSG(!t.shape_.empty(), "tensor order must be >= 1");
+  std::size_t total = 1;
+  for (index_t d : t.shape_) {
+    HT_CHECK_MSG(d > 0, "all mode sizes must be positive");
+    total *= d;
+  }
+  t.data_ = storage::Span<double>::view(data, total, std::move(arena));
+  return t;
 }
 
 std::size_t DenseTensor::offset(std::span<const index_t> idx) const {
@@ -70,13 +98,14 @@ DenseTensor DenseTensor::dematricize(const la::Matrix& m, const Shape& shape,
   HT_CHECK(m.rows() * m.cols() == t.size());
 
   std::vector<index_t> idx(shape.size(), 0);
+  std::vector<double>& out = t.data_.vec();
   for (std::size_t off = 0; off < t.size(); ++off) {
     std::size_t col = 0;
     for (std::size_t n = 0; n < shape.size(); ++n) {
       if (n == mode) continue;
       col = col * shape[n] + idx[n];
     }
-    t.data_[off] = m(idx[mode], col);
+    out[off] = m(idx[mode], col);
     for (std::size_t n = shape.size(); n-- > 0;) {
       if (++idx[n] < shape[n]) break;
       idx[n] = 0;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "la/matrix.hpp"
+#include "storage/span.hpp"
 #include "tensor/coo_tensor.hpp"
 #include "tensor/types.hpp"
 
@@ -26,18 +27,35 @@ class DenseTensor {
   /// Zero-initialized dense tensor of the given shape.
   explicit DenseTensor(Shape shape);
 
+  /// Take ownership of a prefilled flat buffer of prod(shape) doubles
+  /// (row-major, last mode fastest) — the bundle kCopy load path.
+  DenseTensor(Shape shape, std::vector<double> data);
+
+  /// Zero-copy tensor over an externally backed buffer of prod(shape)
+  /// doubles (read-only; the arena is kept alive for the tensor's
+  /// lifetime). The serve-time state of a core tensor loaded from an
+  /// mmap'd model bundle.
+  static DenseTensor view(Shape shape, const double* data,
+                          storage::ArenaPtr arena);
+
   [[nodiscard]] std::size_t order() const { return shape_.size(); }
   [[nodiscard]] const Shape& shape() const { return shape_; }
   [[nodiscard]] std::size_t size() const { return data_.size(); }
 
+  /// True when the buffer is a read-only view into a shared arena.
+  [[nodiscard]] bool is_view() const { return data_.is_view(); }
+
   [[nodiscard]] std::span<const double> flat() const { return data_; }
-  [[nodiscard]] std::span<double> flat() { return data_; }
+  [[nodiscard]] std::span<double> flat() {
+    auto& v = data_.vec();
+    return {v.data(), v.size()};
+  }
 
   /// Linear offset of a multi-index (row-major, last mode fastest).
   [[nodiscard]] std::size_t offset(std::span<const index_t> idx) const;
 
   [[nodiscard]] double& at(std::span<const index_t> idx) {
-    return data_[offset(idx)];
+    return data_.vec()[offset(idx)];
   }
   [[nodiscard]] const double& at(std::span<const index_t> idx) const {
     return data_[offset(idx)];
@@ -57,7 +75,7 @@ class DenseTensor {
 
  private:
   Shape shape_;
-  std::vector<double> data_;
+  storage::Span<double> data_;
 };
 
 /// Dense mode-n tensor-times-matrix product with the factor applied as in

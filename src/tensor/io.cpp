@@ -179,7 +179,12 @@ CooTensor read_binary_file(const std::string& path) {
   const auto order = read_pod<std::uint64_t>(in);
   if (order == 0 || order > 16) throw IoError("implausible tensor order");
   Shape shape(order);
-  for (auto& d : shape) d = read_pod<std::uint32_t>(in);
+  for (std::size_t n = 0; n < order; ++n) {
+    shape[n] = read_pod<std::uint32_t>(in);
+    if (shape[n] == 0) {
+      throw IoError("zero-sized mode " + std::to_string(n) + " in " + path);
+    }
+  }
   const auto nnz = read_pod<std::uint64_t>(in);
 
   // Validate the declared payload against the bytes actually present before
@@ -201,6 +206,15 @@ CooTensor read_binary_file(const std::string& path) {
                   " nonzeros but only " + std::to_string(available) +
                   " payload bytes are present");
   }
+  // The payload must also not be *longer* than declared: trailing bytes mean
+  // the header and body disagree (e.g. an interrupted rewrite over a larger
+  // file), and silently ignoring them would return a tensor that matches
+  // neither the old nor the new contents.
+  if (available != nnz * bytes_per_nnz) {
+    throw IoError("payload of " + path + " has " + std::to_string(available) +
+                  " bytes, expected exactly " +
+                  std::to_string(nnz * bytes_per_nnz));
+  }
 
   CooTensor x(shape);
   x.reserve(nnz);
@@ -208,16 +222,29 @@ CooTensor read_binary_file(const std::string& path) {
   for (std::size_t n = 0; n < order; ++n) {
     in.read(reinterpret_cast<char*>(idx[n].data()),
             static_cast<std::streamsize>(nnz * sizeof(index_t)));
-    if (!in) throw IoError("truncated index data in " + path);
+    if (!in ||
+        in.gcount() != static_cast<std::streamsize>(nnz * sizeof(index_t))) {
+      throw IoError("truncated index data in " + path);
+    }
   }
   std::vector<value_t> vals(nnz);
   in.read(reinterpret_cast<char*>(vals.data()),
           static_cast<std::streamsize>(nnz * sizeof(value_t)));
-  if (!in) throw IoError("truncated value data in " + path);
+  if (!in ||
+      in.gcount() != static_cast<std::streamsize>(nnz * sizeof(value_t))) {
+    throw IoError("truncated value data in " + path);
+  }
 
   std::vector<index_t> coord(order);
   for (nnz_t t = 0; t < nnz; ++t) {
-    for (std::size_t n = 0; n < order; ++n) coord[n] = idx[n][t];
+    for (std::size_t n = 0; n < order; ++n) {
+      coord[n] = idx[n][t];
+      if (coord[n] >= shape[n]) {
+        throw IoError("nonzero " + std::to_string(t) + " of " + path +
+                      " has mode-" + std::to_string(n) +
+                      " index outside the declared shape");
+      }
+    }
     x.push_back(coord, vals[t]);
   }
   return x;

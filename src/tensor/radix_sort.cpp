@@ -7,6 +7,30 @@
 
 namespace ht::tensor {
 
+namespace {
+
+// Keys below this get one exact-width counting pass (small histogram, hot
+// in cache). At or above it the key is split into 16-bit digits: the
+// histogram is then bounded at 64Ki buckets no matter how large the key
+// values are — a key near max(index_t) must not drive a ~max_key-entry
+// counter allocation (tens of GB for 32-bit indices).
+constexpr std::size_t kDirectBucketLimit = std::size_t{1} << 16;
+
+// One stable counting pass over `order` by digit(key[e]); result in `tmp`,
+// then swapped into `order`. `buckets` is the digit alphabet size.
+template <typename Digit>
+void counting_pass(std::vector<nnz_t>& order, std::vector<nnz_t>& tmp,
+                   std::vector<nnz_t>& count, std::size_t buckets,
+                   std::span<const index_t> key, Digit digit) {
+  count.assign(buckets + 1, 0);
+  for (nnz_t e : order) ++count[digit(key[e]) + 1];
+  for (std::size_t i = 1; i < count.size(); ++i) count[i] += count[i - 1];
+  for (nnz_t e : order) tmp[count[digit(key[e])]++] = e;
+  order.swap(tmp);
+}
+
+}  // namespace
+
 std::vector<nnz_t> lexicographic_order(
     std::size_t entries, std::span<const std::span<const index_t>> keys) {
   const std::size_t n_entries = entries;
@@ -20,11 +44,22 @@ std::vector<nnz_t> lexicographic_order(
     HT_CHECK_MSG(key.size() == n_entries, "key length mismatch");
     index_t max_key = 0;
     for (index_t v : key) max_key = std::max(max_key, v);
-    count.assign(static_cast<std::size_t>(max_key) + 2, 0);
-    for (nnz_t e : order) ++count[key[e] + 1];
-    for (std::size_t i = 1; i < count.size(); ++i) count[i] += count[i - 1];
-    for (nnz_t e : order) tmp[count[key[e]]++] = e;
-    order.swap(tmp);
+    if (static_cast<std::size_t>(max_key) + 1 <= kDirectBucketLimit) {
+      counting_pass(order, tmp, count, static_cast<std::size_t>(max_key) + 1,
+                    key, [](index_t v) { return static_cast<std::size_t>(v); });
+    } else {
+      // Wide key: LSD over 16-bit digits of this key (stable passes, so the
+      // digit decomposition sorts exactly like the direct pass would).
+      // Digits beyond the key's magnitude are all-zero and skipped.
+      for (unsigned shift = 0;
+           shift < 8 * sizeof(index_t) && (max_key >> shift) != 0;
+           shift += 16) {
+        counting_pass(order, tmp, count, kDirectBucketLimit, key,
+                      [shift](index_t v) {
+                        return static_cast<std::size_t>((v >> shift) & 0xFFFF);
+                      });
+      }
+    }
   }
   return order;
 }

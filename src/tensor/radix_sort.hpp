@@ -2,10 +2,14 @@
 //
 // One stable LSD counting-sort pass per key: O(keys * (entries + max_key))
 // with purely sequential sweeps, instead of a comparison sort whose K-way
-// coordinate comparator does O(entries log entries) random reads. Shared by
-// the semi-sparse merge-plan builder and the CSF tree builder — both sort
-// millions of nonzeros by a handful of small-domain coordinates, exactly
-// the shape counting sort is built for.
+// coordinate comparator does O(entries log entries) random reads. Keys
+// whose maximum exceeds 16 bits are decomposed into stable 16-bit digit
+// passes, bounding the histogram at 64Ki buckets — the counter allocation
+// never scales with the key magnitude, only the pass count does (at most
+// two passes for 32-bit indices). Shared by the semi-sparse merge-plan
+// builder and the CSF tree builder — both sort millions of nonzeros by a
+// handful of small-domain coordinates, exactly the shape counting sort is
+// built for.
 //
 // Determinism: the sort is stable and starts from ordinal order, so entry
 // ordinal is the final tie-break — the returned permutation is a pure

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "core/hooi.hpp"
 #include "dist/dist_hooi.hpp"
@@ -386,6 +389,56 @@ TEST(DistTrsvdBackends, GramIsRejected) {
   auto opt = dist_options({4, 4, 4}, Grain::kFine, Method::kRandom, 2, 1, 42);
   opt.trsvd_method = ht::core::TrsvdMethod::kGram;
   EXPECT_THROW(ht::dist::dist_hooi(x, opt), ht::Error);
+}
+
+TEST(DistHooiTest, CheckpointRestartContinuesFitTrajectory) {
+  // A 2-iteration run that checkpoints, restarted for 2 more iterations
+  // over the same plan, must walk the same fit trajectory as 4 straight
+  // iterations: the checkpoint replaces only the random initialization.
+  const CooTensor x = test_tensor();
+  const std::vector<index_t> r = {4, 4, 4};
+  const std::string dir = ::testing::TempDir() + "ht_dist_ckpt";
+  (void)std::system(("mkdir -p " + dir).c_str());
+
+  auto cold = dist_options(r, Grain::kFine, Method::kRandom, 2, 4, 42);
+  const DistHooiResult straight = ht::dist::dist_hooi(x, cold);
+
+  auto first = dist_options(r, Grain::kFine, Method::kRandom, 2, 2, 42);
+  first.checkpoint_dir = dir;
+  const DistHooiResult half = ht::dist::dist_hooi(x, first);
+  const DistHooiResult resumed = ht::dist::dist_hooi(x, first);
+
+  ASSERT_EQ(straight.fits.size(), 4u);
+  ASSERT_EQ(half.fits.size(), 2u);
+  ASSERT_EQ(resumed.fits.size(), 2u);
+  EXPECT_NEAR(half.fits[0], straight.fits[0], 1e-12);
+  EXPECT_NEAR(half.fits[1], straight.fits[1], 1e-12);
+  EXPECT_NEAR(resumed.fits[0], straight.fits[2], 1e-12);
+  EXPECT_NEAR(resumed.fits[1], straight.fits[3], 1e-12);
+
+  for (int rank = 0; rank < 2; ++rank) {
+    std::remove((dir + "/rank" + std::to_string(rank) + ".htb").c_str());
+  }
+}
+
+TEST(DistHooiTest, StaleCheckpointShapeIsRejected) {
+  const CooTensor x = test_tensor();
+  const std::string dir = ::testing::TempDir() + "ht_dist_ckpt_stale";
+  (void)std::system(("mkdir -p " + dir).c_str());
+
+  auto opt = dist_options({4, 4, 4}, Grain::kFine, Method::kRandom, 2, 1, 42);
+  opt.checkpoint_dir = dir;
+  (void)ht::dist::dist_hooi(x, opt);
+
+  // Same directory, different ranks: the stored slices no longer match the
+  // plan and must be rejected loudly instead of silently corrupting a run.
+  auto other = dist_options({5, 5, 5}, Grain::kFine, Method::kRandom, 2, 1, 42);
+  other.checkpoint_dir = dir;
+  EXPECT_THROW(ht::dist::dist_hooi(x, other), ht::Error);
+
+  for (int rank = 0; rank < 2; ++rank) {
+    std::remove((dir + "/rank" + std::to_string(rank) + ".htb").c_str());
+  }
 }
 
 TEST(DistHooiTest, HybridThreadsPerRankAgrees) {

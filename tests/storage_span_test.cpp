@@ -1,0 +1,200 @@
+// Storage view layer: Span owned/view semantics, CopyStats accounting,
+// MappedFile round trips, and the view discipline of Matrix/DenseTensor.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "storage/arena.hpp"
+#include "storage/mapped_file.hpp"
+#include "storage/span.hpp"
+#include "tensor/dense_tensor.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using ht::storage::ArenaPtr;
+using ht::storage::CopyStats;
+using ht::storage::HeapArena;
+using ht::storage::MappedFile;
+using ht::storage::Span;
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& suffix) {
+    path_ = ::testing::TempDir() + "ht_storage_test_" + suffix;
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// An arena over a double payload, for view tests without file I/O.
+ArenaPtr make_arena(const std::vector<double>& values) {
+  std::vector<std::byte> bytes(values.size() * sizeof(double));
+  std::memcpy(bytes.data(), values.data(), bytes.size());
+  return std::make_shared<HeapArena>(std::move(bytes));
+}
+
+const double* arena_doubles(const ArenaPtr& a) {
+  return reinterpret_cast<const double*>(a->data());
+}
+
+TEST(SpanTest, DefaultIsEmptyOwned) {
+  Span<double> s;
+  EXPECT_FALSE(s.is_view());
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(SpanTest, OwnedWrapsVectorAndStaysMutable) {
+  Span<int> s(std::vector<int>{1, 2, 3});
+  EXPECT_FALSE(s.is_view());
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[1], 2);
+  s.vec().push_back(4);  // growth must be visible through the reads
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.back(), 4);
+}
+
+TEST(SpanTest, ViewReadsArenaAndRejectsMutation) {
+  const std::vector<double> payload{1.5, -2.0, 3.25};
+  ArenaPtr arena = make_arena(payload);
+  auto s = Span<double>::view(arena_doubles(arena), payload.size(), arena);
+  EXPECT_TRUE(s.is_view());
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s[2], 3.25);
+  EXPECT_THROW(s.vec(), ht::Error);
+  EXPECT_THROW(s.mutable_data(), ht::Error);
+}
+
+TEST(SpanTest, ViewKeepsArenaAlive) {
+  const std::vector<double> payload{7.0, 8.0};
+  Span<double> s;
+  {
+    ArenaPtr arena = make_arena(payload);
+    s = Span<double>::view(arena_doubles(arena), payload.size(), arena);
+  }  // the local ArenaPtr dies; the span's shared ownership must not
+  EXPECT_DOUBLE_EQ(s[0], 7.0);
+  EXPECT_DOUBLE_EQ(s[1], 8.0);
+}
+
+TEST(SpanTest, DetachCopiesAndRecordsCopyStats) {
+  const std::vector<double> payload{1.0, 2.0, 3.0, 4.0};
+  ArenaPtr arena = make_arena(payload);
+  auto s = Span<double>::view(arena_doubles(arena), payload.size(), arena);
+
+  CopyStats::reset();
+  s.detach();
+  EXPECT_FALSE(s.is_view());
+  EXPECT_EQ(CopyStats::count(), 1u);
+  EXPECT_EQ(CopyStats::bytes(), payload.size() * sizeof(double));
+  s.vec()[0] = 42.0;  // mutable after detach
+  EXPECT_DOUBLE_EQ(s[0], 42.0);
+
+  CopyStats::reset();
+  s.detach();  // no-op when owned
+  EXPECT_EQ(CopyStats::count(), 0u);
+}
+
+TEST(SpanTest, EqualityIsElementWiseAcrossStates) {
+  const std::vector<double> payload{1.0, 2.0};
+  ArenaPtr arena = make_arena(payload);
+  auto view = Span<double>::view(arena_doubles(arena), payload.size(), arena);
+  Span<double> owned(payload);
+  EXPECT_TRUE(view == owned);
+  Span<double> other(std::vector<double>{1.0, 2.5});
+  EXPECT_FALSE(view == other);
+  std::vector<double> materialized = view;  // implicit vector conversion
+  EXPECT_EQ(materialized, payload);
+}
+
+TEST(MappedFileTest, MapsFileContents) {
+  TempFile tmp("mapped.bin");
+  const std::vector<double> payload{3.0, 1.0, 4.0, 1.0, 5.0};
+  {
+    std::ofstream out(tmp.path(), std::ios::binary);
+    out.write(reinterpret_cast<const char*>(payload.data()),
+              static_cast<std::streamsize>(payload.size() * sizeof(double)));
+  }
+  auto mf = MappedFile::open(tmp.path());
+  ASSERT_EQ(mf->size(), payload.size() * sizeof(double));
+  auto s = Span<double>::view(reinterpret_cast<const double*>(mf->data()),
+                              payload.size(), mf);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    EXPECT_DOUBLE_EQ(s[i], payload[i]);
+  }
+}
+
+TEST(MappedFileTest, EmptyFileIsValidEmptyArena) {
+  TempFile tmp("empty.bin");
+  { std::ofstream out(tmp.path(), std::ios::binary); }
+  auto mf = MappedFile::open(tmp.path());
+  EXPECT_EQ(mf->size(), 0u);
+}
+
+TEST(MappedFileTest, MissingFileThrows) {
+  EXPECT_THROW(MappedFile::open("/nonexistent/ht_no_such_file.bin"),
+               ht::IoError);
+}
+
+TEST(MatrixViewTest, ViewReadsAndRefusesWrites) {
+  const std::vector<double> payload{1, 2, 3, 4, 5, 6};
+  ArenaPtr arena = make_arena(payload);
+  auto m = ht::la::Matrix::view(2, 3, arena_doubles(arena), arena);
+  EXPECT_TRUE(m.is_view());
+  // Reads go through the const accessors; the non-const element accessors
+  // are unchecked hot paths and deliberately fault on views.
+  const ht::la::Matrix& cm = m;
+  EXPECT_DOUBLE_EQ(cm(1, 2), 6.0);
+  EXPECT_DOUBLE_EQ(cm.row(0)[1], 2.0);
+  EXPECT_DOUBLE_EQ(cm.data()[3], 4.0);
+  EXPECT_THROW(m.data(), ht::Error);
+  EXPECT_THROW(m.flat(), ht::Error);
+}
+
+TEST(MatrixViewTest, EnsureOwnedDetaches) {
+  const std::vector<double> payload{1, 2, 3, 4};
+  ArenaPtr arena = make_arena(payload);
+  auto m = ht::la::Matrix::view(2, 2, arena_doubles(arena), arena);
+  CopyStats::reset();
+  m.ensure_owned();
+  EXPECT_FALSE(m.is_view());
+  EXPECT_EQ(CopyStats::bytes(), payload.size() * sizeof(double));
+  m(0, 0) = 9.0;
+  EXPECT_DOUBLE_EQ(m(0, 0), 9.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+}
+
+TEST(MatrixViewTest, CopyOfViewSharesArena) {
+  const std::vector<double> payload{1, 2, 3, 4};
+  ArenaPtr arena = make_arena(payload);
+  auto m = ht::la::Matrix::view(2, 2, arena_doubles(arena), arena);
+  const ht::la::Matrix copy = m;  // copies the window, shares the arena
+  const ht::la::Matrix& cm = m;
+  EXPECT_TRUE(copy.is_view());
+  EXPECT_EQ(copy.data(), cm.data());
+  EXPECT_DOUBLE_EQ(copy(1, 0), 3.0);
+}
+
+TEST(DenseTensorViewTest, ViewReadsAndRefusesWrites) {
+  const std::vector<double> payload{1, 2, 3, 4, 5, 6, 7, 8};
+  ArenaPtr arena = make_arena(payload);
+  auto t = ht::tensor::DenseTensor::view({2, 2, 2}, arena_doubles(arena),
+                                         arena);
+  EXPECT_TRUE(t.is_view());
+  const std::vector<ht::tensor::index_t> idx{1, 0, 1};
+  const ht::tensor::DenseTensor& ct = t;
+  EXPECT_DOUBLE_EQ(ct.at(idx), 6.0);  // last mode fastest
+  EXPECT_THROW(t.flat(), ht::Error);
+  EXPECT_THROW(t.at(idx), ht::Error);
+}
+
+}  // namespace

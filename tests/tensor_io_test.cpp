@@ -201,4 +201,47 @@ TEST(BinaryIoTest, MissingFileThrows) {
                ht::IoError);
 }
 
+// Regression: trailing bytes after the declared payload (e.g. an
+// interrupted in-place rewrite over a larger file) used to be silently
+// ignored, returning a tensor matching neither old nor new contents.
+TEST(BinaryIoTest, RejectsTrailingBytes) {
+  const CooTensor x = ht::tensor::random_uniform(Shape{10, 10}, 50, 10);
+  TempFile f("bin6");
+  ht::tensor::write_binary_file(f.path(), x);
+  std::ofstream out(f.path(), std::ios::binary | std::ios::app);
+  out << "leftover";
+  out.close();
+  EXPECT_THROW(ht::tensor::read_binary_file(f.path()), ht::IoError);
+}
+
+TEST(BinaryIoTest, RejectsZeroSizedMode) {
+  TempFile f("bin7");
+  {
+    std::ofstream out(f.path(), std::ios::binary);
+    out << "HTNSB1";
+    const std::uint64_t order = 2;
+    out.write(reinterpret_cast<const char*>(&order), sizeof order);
+    const std::uint32_t dims[2] = {5, 0};
+    out.write(reinterpret_cast<const char*>(dims), sizeof dims);
+    const std::uint64_t nnz = 0;
+    out.write(reinterpret_cast<const char*>(&nnz), sizeof nnz);
+  }
+  EXPECT_THROW(ht::tensor::read_binary_file(f.path()), ht::IoError);
+}
+
+// Regression: an index outside the declared shape must surface as a clean
+// IoError naming the nonzero, not as a downstream invariant failure.
+TEST(BinaryIoTest, RejectsIndexOutsideDeclaredShape) {
+  const CooTensor x = ht::tensor::random_uniform(Shape{10, 10}, 50, 11);
+  TempFile f("bin8");
+  ht::tensor::write_binary_file(f.path(), x);
+  // Patch the first mode-0 index (right after the header) out of range.
+  std::fstream io(f.path(), std::ios::binary | std::ios::in | std::ios::out);
+  io.seekp(6 + 8 + 2 * 4 + 8, std::ios::beg);
+  const std::uint32_t bad = 10;  // shape is 10, valid indices are 0..9
+  io.write(reinterpret_cast<const char*>(&bad), sizeof bad);
+  io.close();
+  EXPECT_THROW(ht::tensor::read_binary_file(f.path()), ht::IoError);
+}
+
 }  // namespace
