@@ -29,13 +29,21 @@
 //      mmap (kMap, zero-copy views) bundle loads, cold and warm, plus the
 //      first-query latency after each (perf-trajectory entry: the mmap
 //      cold load must not scale with model size the way the heap load
-//      does, and must copy zero payload bytes).
+//      does, and must copy zero payload bytes);
+//   9. serve-path query throughput — the serve::QueryEngine point-query
+//      QPS and latency percentiles under a Zipf-skewed user trace (the
+//      traffic shape the per-user contraction cache is built for), with
+//      the cache on vs off and batched vs single-query submission
+//      (perf-trajectory entry: on the skewed trace the cache must be worth
+//      >1.5x QPS, and batching must never lose to single-query).
 //
 // With --json PATH, every arm also appends machine-readable records so CI
 // publishes BENCH_ablation.json instead of hand-copied tables.
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <memory>
+#include <random>
 
 #include "bench_common.hpp"
 #include "core/dim_tree.hpp"
@@ -46,6 +54,8 @@
 #include "core/ttmc.hpp"
 #include "core/tucker_model.hpp"
 #include "la/lanczos.hpp"
+#include "serve/query_engine.hpp"
+#include "serve/serve_model.hpp"
 #include "storage/bundle.hpp"
 #include "tensor/csf.hpp"
 #include "tensor/generators.hpp"
@@ -542,6 +552,169 @@ void model_store_ablation(bool smoke, htb::JsonReport& report) {
   std::printf("\n");
 }
 
+// Arm 9: serve-path throughput. A trained bundle is served through
+// serve::QueryEngine and hit with a Zipf-skewed user trace — a few hot
+// users dominate, the regime the per-user contraction cache targets. The
+// cached arm re-uses each hot user's core contraction (rank-sized dots per
+// query); the uncached arm pays the full prod(R) contraction every time.
+// Batched submission amortizes the cache lock and lets OpenMP spread the
+// trace; answers are bit-identical across all four arms, so the numbers
+// compare pure serving overhead.
+void serve_qps_ablation(bool smoke, htb::JsonReport& report) {
+  using namespace ht;
+  std::printf("=== Ablation 9: serve-path QPS (Zipf user trace) ===\n");
+
+  const tensor::Shape shape =
+      smoke ? tensor::Shape{400, 120, 12} : tensor::Shape{4000, 600, 24};
+  const tensor::nnz_t nnz = smoke ? 40000 : 1000000;
+  const std::vector<tensor::index_t> ranks =
+      smoke ? std::vector<tensor::index_t>{12, 10, 6}
+            : std::vector<tensor::index_t>{16, 16, 8};
+  const std::size_t trace_len = smoke ? 50000 : 400000;
+
+  const auto x = tensor::random_zipf(shape, nnz, {0.9, 0.9, 0.4}, 41);
+  core::HooiOptions options;
+  options.ranks = ranks;
+  options.max_iterations = 3;
+  options.fit_tolerance = 0.0;
+  auto model = core::TuckerModel::from_hooi(x, core::hooi(x, options));
+
+  const std::string path = "bench_serve_qps.htb";
+  storage::save_bundle(model, path);
+  const auto served = serve::ServeModel::load(path);
+
+  // Zipf(1.1) over users: the head of the distribution carries most of the
+  // trace, exactly the skew real per-user traffic shows.
+  std::vector<double> weights(shape[0]);
+  for (std::size_t u = 0; u < weights.size(); ++u) {
+    weights[u] = 1.0 / std::pow(static_cast<double>(u + 1), 1.1);
+  }
+  std::mt19937_64 rng(4243);
+  std::discrete_distribution<tensor::index_t> user_dist(weights.begin(),
+                                                        weights.end());
+  std::uniform_int_distribution<tensor::index_t> item_dist(0, shape[1] - 1);
+  std::uniform_int_distribution<tensor::index_t> ctx_dist(0, shape[2] - 1);
+  std::vector<std::vector<tensor::index_t>> trace(trace_len);
+  for (auto& q : trace) {
+    q = {user_dist(rng), item_dist(rng), ctx_dist(rng)};
+  }
+
+  struct ArmResult {
+    double qps = 0, p50_us = 0, p99_us = 0, hit_rate = 0;
+  };
+  auto percentile = [](std::vector<double>& lat, double p) {
+    const std::size_t i = static_cast<std::size_t>(p * (lat.size() - 1));
+    std::nth_element(lat.begin(), lat.begin() + i, lat.end());
+    return lat[i] * 1e6;
+  };
+
+  std::printf("%-9s %-8s %12s %10s %10s %9s\n", "cache", "mode", "qps",
+              "p50(us)", "p99(us)", "hit_rate");
+  ArmResult cached_single, uncached_single;
+  for (const std::size_t cache_entries : {std::size_t{0}, std::size_t{4096}}) {
+    serve::QueryOptions qopt;
+    qopt.cache_entries = cache_entries;
+    const char* cache_name = cache_entries ? "on" : "off";
+
+    // Single-query submission: per-query latency percentiles + QPS.
+    {
+      serve::QueryEngine engine(served, qopt);
+      double sink = 0;
+      // Warm-up pass populates the cache (steady-state serving, not cold
+      // start, is what the arm measures).
+      for (std::size_t q = 0; q < trace.size() / 10; ++q) {
+        sink += engine.score(trace[q]);
+      }
+      std::vector<double> lat;
+      lat.reserve(trace.size());
+      WallTimer total;
+      for (const auto& q : trace) {
+        WallTimer t;
+        sink += engine.score(q);
+        lat.push_back(t.seconds());
+      }
+      const double wall = total.seconds();
+      const auto cs = engine.cache_stats();
+      ArmResult r;
+      r.qps = static_cast<double>(trace.size()) / wall;
+      r.p50_us = percentile(lat, 0.50);
+      r.p99_us = percentile(lat, 0.99);
+      r.hit_rate = cs.hits + cs.misses
+                       ? static_cast<double>(cs.hits) / (cs.hits + cs.misses)
+                       : 0.0;
+      (cache_entries ? cached_single : uncached_single) = r;
+      if (sink == 1e300) std::printf("unreachable\n");  // keep queries live
+      std::printf("%-9s %-8s %12.0f %10.3f %10.3f %8.1f%%\n", cache_name,
+                  "single", r.qps, r.p50_us, r.p99_us, 100 * r.hit_rate);
+      report.add()
+          .str("arm", "serve_qps")
+          .str("cache", cache_name)
+          .str("mode", "single")
+          .num("cache_entries", static_cast<double>(cache_entries))
+          .num("trace_len", static_cast<double>(trace.size()))
+          .num("zipf_theta", 1.1)
+          .num("qps", r.qps)
+          .num("p50_us", r.p50_us)
+          .num("p99_us", r.p99_us)
+          .num("cache_hit_rate", r.hit_rate);
+    }
+
+    // Batched submission: the trace in page-sized chunks through
+    // score_batch (per-chunk latency spread over its queries).
+    {
+      serve::QueryEngine engine(served, qopt);
+      const std::size_t batch = 1024;
+      std::vector<std::vector<tensor::index_t>> chunk;
+      chunk.reserve(batch);
+      std::vector<double> lat;
+      double sink = 0;
+      WallTimer total;
+      for (std::size_t begin = 0; begin < trace.size(); begin += batch) {
+        const std::size_t end = std::min(trace.size(), begin + batch);
+        chunk.assign(trace.begin() + begin, trace.begin() + end);
+        WallTimer t;
+        const auto scores = engine.score_batch(chunk);
+        const double per_query = t.seconds() / chunk.size();
+        for (std::size_t q = 0; q < chunk.size(); ++q) {
+          sink += scores[q];
+          lat.push_back(per_query);
+        }
+      }
+      const double wall = total.seconds();
+      const auto cs = engine.cache_stats();
+      const double qps = static_cast<double>(trace.size()) / wall;
+      const double hit_rate =
+          cs.hits + cs.misses
+              ? static_cast<double>(cs.hits) / (cs.hits + cs.misses)
+              : 0.0;
+      if (sink == 1e300) std::printf("unreachable\n");
+      std::printf("%-9s %-8s %12.0f %10.3f %10.3f %8.1f%%\n", cache_name,
+                  "batched", qps, percentile(lat, 0.50), percentile(lat, 0.99),
+                  100 * hit_rate);
+      report.add()
+          .str("arm", "serve_qps")
+          .str("cache", cache_name)
+          .str("mode", "batched")
+          .num("cache_entries", static_cast<double>(cache_entries))
+          .num("trace_len", static_cast<double>(trace.size()))
+          .num("batch", static_cast<double>(batch))
+          .num("zipf_theta", 1.1)
+          .num("qps", qps)
+          .num("p50_us", percentile(lat, 0.50))
+          .num("p99_us", percentile(lat, 0.99))
+          .num("cache_hit_rate", hit_rate);
+    }
+  }
+  const double cache_win = cached_single.qps / uncached_single.qps;
+  std::printf("cache win on the skewed trace: %.2fx QPS (hit rate %.1f%%)\n\n",
+              cache_win, 100 * cached_single.hit_rate);
+  report.add()
+      .str("arm", "serve_qps_summary")
+      .num("cache_qps_win", cache_win)
+      .num("cache_hit_rate", cached_single.hit_rate);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -553,6 +726,7 @@ int main(int argc, char** argv) {
   tree_scheduler_ablation(htb::bench_smoke(), report);
   trsvd_backend_ablation(htb::bench_smoke(), report);
   model_store_ablation(htb::bench_smoke(), report);
+  serve_qps_ablation(htb::bench_smoke(), report);
   if (htb::bench_smoke()) {
     std::printf("[smoke] skipping ablations 1-3 (HT_SMOKE=1)\n");
     report.write();

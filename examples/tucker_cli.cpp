@@ -9,6 +9,7 @@
 //                [--export PREFIX] [--sweep] [--save-model FILE.htb]
 //   ./tucker_cli --load-model FILE.htb [--copy]
 //   ./tucker_cli --inspect-model FILE.htb [--verify]
+//   ./tucker_cli --query TARGET "SCORE 3 17 5" ["TOPK 3 10" ...]
 //   ./tucker_cli --version
 //
 // With --sweep, the ranks argument is treated as the *maximum* per mode and
@@ -20,6 +21,10 @@
 // heap copies with --copy — and prints its shape, fit, and provenance.
 // --inspect-model reads only the header and section table; --verify
 // additionally checks every payload checksum.
+//
+// --query is a tuckerd client: TARGET is a unix socket path (contains '/')
+// or host:port; each remaining argument is sent as one protocol line and
+// the response is printed. Exits non-zero if any response is an ERR.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -31,6 +36,8 @@
 #include "core/hooi.hpp"
 #include "core/rank_sweep.hpp"
 #include "core/tucker_model.hpp"
+#include "serve/net.hpp"
+#include "serve/protocol.hpp"
 #include "storage/bundle.hpp"
 #include "tensor/io.hpp"
 #include "util/table.hpp"
@@ -79,8 +86,33 @@ int usage() {
                " [--export PREFIX] [--sweep] [--save-model FILE.htb]\n"
                "       tucker_cli --load-model FILE.htb [--copy]\n"
                "       tucker_cli --inspect-model FILE.htb [--verify]\n"
+               "       tucker_cli --query TARGET LINE [LINE...]\n"
                "       tucker_cli --version\n");
   return 2;
+}
+
+int run_query(const std::string& target, int argc, char** argv, int first) {
+#if HT_HAVE_SOCKETS
+  std::vector<std::string> lines;
+  for (int a = first; a < argc; ++a) lines.emplace_back(argv[a]);
+  if (lines.empty()) return usage();
+  try {
+    const auto responses = ht::serve::query_lines(target, lines);
+    bool all_ok = true;
+    for (const auto& r : responses) {
+      std::printf("%s\n", r.c_str());
+      all_ok = all_ok && ht::serve::response_ok(r);
+    }
+    return all_ok ? 0 : 1;
+  } catch (const ht::Error& e) {
+    std::fprintf(stderr, "query error: %s\n", e.what());
+    return 1;
+  }
+#else
+  (void)target; (void)argc; (void)argv; (void)first;
+  std::fprintf(stderr, "--query requires POSIX sockets\n");
+  return 1;
+#endif
 }
 
 void print_model(const ht::core::TuckerModel& m, bool mapped) {
@@ -146,6 +178,9 @@ int main(int argc, char** argv) {
   if (argc >= 3 && std::strcmp(argv[1], "--inspect-model") == 0) {
     return run_inspect_model(
         argv[2], argc >= 4 && std::strcmp(argv[3], "--verify") == 0);
+  }
+  if (argc >= 3 && std::strcmp(argv[1], "--query") == 0) {
+    return run_query(argv[2], argc, argv, 3);
   }
   if (argc < 3) return usage();
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/reconstruct.hpp"
 #include "util/error.hpp"
 
 namespace ht::core {
@@ -15,32 +16,43 @@ std::vector<index_t> TuckerDecomposition::ranks() const {
 
 double TuckerDecomposition::reconstruct_at(std::span<const index_t> idx) const {
   HT_CHECK(idx.size() == order());
-  const auto& shape = core.shape();
-  // Odometer over the core, last mode fastest — matches core.flat() layout.
-  std::vector<index_t> r(order(), 0);
-  double value = 0.0;
-  for (std::size_t off = 0; off < core.size(); ++off) {
-    double term = core.flat()[off];
-    if (term != 0.0) {
-      for (std::size_t n = 0; n < order(); ++n) {
-        term *= factors[n](idx[n], r[n]);
-      }
-      value += term;
-    }
-    for (std::size_t n = order(); n-- > 0;) {
-      if (++r[n] < shape[n]) break;
-      r[n] = 0;
-    }
-  }
-  return value;
+  // Sequential-contraction kernel with thread-local scratch: no per-call
+  // allocation (this is the serving hot path), bit-identical to the
+  // serve-layer cached/batched paths which share the same kernels.
+  return core::reconstruct_at(core, factors, idx,
+                              ReconstructWorkspace::tls());
 }
 
 tensor::DenseTensor TuckerDecomposition::reconstruct_dense() const {
-  tensor::DenseTensor x = core;
-  // X = G x_1 U_1 x_2 ... x_N U_N; dense_ttm applies factors as U^T with U
-  // of size (input mode size x output size), so pass U_n transposed.
-  for (std::size_t n = 0; n < order(); ++n) {
-    x = tensor::dense_ttm(x, n, factors[n].transposed());
+  // Densify through the same contraction kernels the point query uses: one
+  // entity slice per mode-0 index (reused across the whole hyperslice,
+  // exactly like the serve layer's per-user cache), then score_slice per
+  // remaining coordinate (test sizes only).
+  tensor::Shape shape;
+  for (const auto& f : factors) {
+    shape.push_back(static_cast<index_t>(f.rows()));
+  }
+  tensor::DenseTensor x{shape};
+  if (shape.empty()) return x;
+  ReconstructWorkspace& ws = ReconstructWorkspace::tls();
+  const tensor::Shape& ranks = core.shape();
+  const std::size_t s = core::slice_size(ranks, 0);
+  std::vector<double> slice(s);
+  std::vector<index_t> idx(order(), 0);
+  auto flat = x.flat();
+  // Odometer, last mode fastest (the flat layout); mode 0 is slowest, so
+  // the entity slice is recomputed exactly shape[0] times.
+  std::size_t hyperslice = 1;
+  for (std::size_t n = 1; n < shape.size(); ++n) hyperslice *= shape[n];
+  for (std::size_t off = 0; off < flat.size(); ++off) {
+    if (off % hyperslice == 0) {
+      core::contract_unfolding(core.flat(), factors[0].row(idx[0]), slice);
+    }
+    flat[off] = core::score_slice(slice, ranks, 0, factors, idx, ws);
+    for (std::size_t n = order(); n-- > 0;) {
+      if (++idx[n] < shape[n]) break;
+      idx[n] = 0;
+    }
   }
   return x;
 }

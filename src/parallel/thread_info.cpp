@@ -1,8 +1,14 @@
 #include "parallel/thread_info.hpp"
 
+#ifdef _OPENMP
 #include <omp.h>
+#endif
 
 namespace ht::parallel {
+
+// Builds without OpenMP (e.g. -DHT_SANITIZE=thread, where libgomp would
+// trip TSan) run single-threaded: one hardware thread, ThreadScope a no-op.
+#ifdef _OPENMP
 
 int max_threads() { return omp_get_max_threads(); }
 
@@ -14,5 +20,15 @@ ThreadScope::ThreadScope(int n)
 ThreadScope::~ThreadScope() {
   if (active_) omp_set_num_threads(previous_);
 }
+
+#else
+
+int max_threads() { return 1; }
+
+ThreadScope::ThreadScope(int n) : previous_(1), active_(n > 0) {}
+
+ThreadScope::~ThreadScope() = default;
+
+#endif
 
 }  // namespace ht::parallel

@@ -1,0 +1,58 @@
+// Request dispatcher: the glue between the wire protocol and the serving
+// stack (ModelHandle -> ServeModel -> QueryEngine).
+//
+// The dispatcher tracks the handle's epoch: when a new model has been
+// published it builds a fresh QueryEngine on the new snapshot (the
+// per-user cache starts cold — slices of the old core are invalid by
+// definition) and swaps it in behind a mutex held for the pointer swap
+// only. In-flight requests keep using the engine they grabbed, which keeps
+// the old ServeModel — and its bundle mapping — alive until they finish:
+// the reader half of the RCU protocol described in model_handle.hpp.
+//
+// handle_line() is safe to call from any number of server threads.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "serve/model_handle.hpp"
+#include "serve/protocol.hpp"
+#include "serve/query_engine.hpp"
+
+namespace ht::serve {
+
+/// Daemon actions a request can trigger; unset hooks make the request an
+/// ERR (the in-process/test configuration).
+struct DispatcherHooks {
+  /// RELOAD: force a reload now; throws ht::Error on failure.
+  std::function<void()> reload;
+  /// SHUTDOWN: ask the daemon to exit after responding.
+  std::function<void()> shutdown;
+};
+
+class Dispatcher {
+ public:
+  Dispatcher(ModelHandle& handle, QueryOptions options,
+             DispatcherHooks hooks = {});
+
+  /// Handle one request line; always returns a single response line
+  /// (no trailing newline). Never throws.
+  std::string handle_line(const std::string& line);
+
+  /// Current engine, rebuilt on epoch change (nullptr before the first
+  /// publish).
+  std::shared_ptr<QueryEngine> engine();
+
+ private:
+  ModelHandle& handle_;
+  QueryOptions options_;
+  DispatcherHooks hooks_;
+
+  std::mutex mutex_;  // guards engine_ / engine_epoch_
+  std::shared_ptr<QueryEngine> engine_;
+  std::uint64_t engine_epoch_ = 0;
+};
+
+}  // namespace ht::serve

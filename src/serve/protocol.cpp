@@ -1,0 +1,167 @@
+#include "serve/protocol.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ht::serve {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    std::size_t begin = i;
+    while (i < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i > begin) tokens.push_back(line.substr(begin, i - begin));
+  }
+  return tokens;
+}
+
+bool parse_index(const std::string& s, index_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end == s.c_str() || *end != '\0') return false;
+  if (v > 0xffffffffull) return false;
+  out = static_cast<index_t>(v);
+  return true;
+}
+
+Request invalid(const std::string& why) {
+  Request r;
+  r.type = RequestType::kInvalid;
+  r.error = why;
+  return r;
+}
+
+}  // namespace
+
+Request parse_request(const std::string& line) {
+  const auto tokens = tokenize(line);
+  if (tokens.empty()) return invalid("empty request");
+  const std::string& cmd = tokens[0];
+  Request r;
+
+  if (cmd == "PING") {
+    r.type = RequestType::kPing;
+  } else if (cmd == "INFO") {
+    r.type = RequestType::kInfo;
+  } else if (cmd == "STATS") {
+    r.type = RequestType::kStats;
+  } else if (cmd == "RELOAD") {
+    r.type = RequestType::kReload;
+  } else if (cmd == "SHUTDOWN") {
+    r.type = RequestType::kShutdown;
+  } else if (cmd == "QUIT") {
+    r.type = RequestType::kQuit;
+  } else if (cmd == "SCORE") {
+    if (tokens.size() < 2) return invalid("SCORE needs coordinates");
+    std::vector<index_t> idx;
+    for (std::size_t t = 1; t < tokens.size(); ++t) {
+      index_t v;
+      if (!parse_index(tokens[t], v)) {
+        return invalid("bad coordinate '" + tokens[t] + "'");
+      }
+      idx.push_back(v);
+    }
+    r.type = RequestType::kScore;
+    r.queries.push_back(std::move(idx));
+  } else if (cmd == "SCOREB") {
+    if (tokens.size() != 2) {
+      return invalid("SCOREB needs one i,i,..;i,i,.. argument");
+    }
+    const std::string& arg = tokens[1];
+    std::vector<index_t> idx;
+    std::string cur;
+    for (std::size_t i = 0; i <= arg.size(); ++i) {
+      const char c = i < arg.size() ? arg[i] : ';';
+      if (c == ',' || c == ';') {
+        index_t v;
+        if (!parse_index(cur, v)) {
+          return invalid("bad coordinate '" + cur + "'");
+        }
+        idx.push_back(v);
+        cur.clear();
+        if (c == ';' && !idx.empty()) {
+          r.queries.push_back(std::move(idx));
+          idx.clear();
+        }
+      } else {
+        cur += c;
+      }
+    }
+    if (r.queries.empty()) return invalid("SCOREB got no queries");
+    r.type = RequestType::kScoreBatch;
+  } else if (cmd == "TOPK") {
+    if (tokens.size() < 3) return invalid("TOPK needs entity and k");
+    index_t entity;
+    if (!parse_index(tokens[1], entity)) {
+      return invalid("bad entity '" + tokens[1] + "'");
+    }
+    index_t k;
+    if (!parse_index(tokens[2], k) || k == 0) {
+      return invalid("bad k '" + tokens[2] + "'");
+    }
+    for (std::size_t t = 3; t < tokens.size(); ++t) {
+      index_t v;
+      if (!parse_index(tokens[t], v)) {
+        return invalid("bad coordinate '" + tokens[t] + "'");
+      }
+      r.rest.push_back(v);
+    }
+    r.type = RequestType::kTopk;
+    r.entity = entity;
+    r.k = k;
+  } else {
+    return invalid("unknown command '" + cmd + "'");
+  }
+  return r;
+}
+
+std::string format_value(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "OK %.17g", v);
+  return buf;
+}
+
+std::string format_scores(std::span<const double> values) {
+  std::string out = "OK";
+  char buf[40];
+  for (const double v : values) {
+    std::snprintf(buf, sizeof buf, " %.17g", v);
+    out += buf;
+  }
+  return out;
+}
+
+std::string format_topk(std::span<const Scored> items) {
+  std::string out = "OK";
+  char buf[64];
+  for (const Scored& s : items) {
+    std::snprintf(buf, sizeof buf, " %u:%.17g", s.item, s.score);
+    out += buf;
+  }
+  return out;
+}
+
+std::string format_err(const std::string& message) {
+  std::string out = "ERR ";
+  for (const char c : message) out += c == '\n' ? ' ' : c;
+  return out;
+}
+
+bool response_ok(const std::string& response) {
+  return response.rfind("OK", 0) == 0 &&
+         (response.size() == 2 || response[2] == ' ');
+}
+
+}  // namespace ht::serve

@@ -1,0 +1,69 @@
+// tuckerd wire protocol: newline-delimited text requests and responses.
+//
+// One request per line; one response line per request. Responses start with
+// "OK" or "ERR". Values are printed with %.17g, so a double round-trips the
+// wire bit-exactly.
+//
+//   PING                         -> OK pong
+//   INFO                         -> OK epoch=3 order=3 dims=600x240x32
+//                                   ranks=10x10x10 fit=0.412003 view=mmap
+//   SCORE i0 i1 ... i{N-1}       -> OK <value>
+//   SCOREB i,i,i;i,i,i;...       -> OK <v1> <v2> ...        (batched)
+//   TOPK entity k [rest...]      -> OK item:score item:score ...
+//   STATS                        -> OK epoch=3 reloads=2 hits=10 misses=4
+//                                   evictions=0 cached=4
+//   RELOAD                       -> OK epoch=4           (force reload now)
+//   SHUTDOWN                     -> OK bye               (daemon exits)
+//   QUIT                         -> OK bye               (connection closes)
+//
+// Parsing and formatting are plain functions so the daemon, the
+// tucker_cli client mode, and the unit tests share one implementation
+// without touching sockets.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "serve/query_engine.hpp"
+#include "tensor/types.hpp"
+
+namespace ht::serve {
+
+enum class RequestType {
+  kPing,
+  kInfo,
+  kScore,
+  kScoreBatch,
+  kTopk,
+  kStats,
+  kReload,
+  kShutdown,
+  kQuit,
+  kInvalid,
+};
+
+struct Request {
+  RequestType type = RequestType::kInvalid;
+  /// kScore: one entry; kScoreBatch: one entry per ';' group.
+  std::vector<std::vector<index_t>> queries;
+  index_t entity = 0;       // kTopk
+  std::size_t k = 0;        // kTopk
+  std::vector<index_t> rest;  // kTopk fixed coordinates
+  std::string error;        // kInvalid: why parsing failed
+};
+
+/// Parse one request line (leading/trailing whitespace ignored). Never
+/// throws; malformed input yields kInvalid with `error` set.
+[[nodiscard]] Request parse_request(const std::string& line);
+
+[[nodiscard]] std::string format_value(double v);
+[[nodiscard]] std::string format_scores(std::span<const double> values);
+[[nodiscard]] std::string format_topk(std::span<const Scored> items);
+[[nodiscard]] std::string format_err(const std::string& message);
+
+/// True when a response line indicates success.
+[[nodiscard]] bool response_ok(const std::string& response);
+
+}  // namespace ht::serve

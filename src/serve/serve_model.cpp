@@ -1,0 +1,115 @@
+#include "serve/serve_model.hpp"
+
+#include "util/error.hpp"
+
+namespace ht::serve {
+
+ServeModel::ServeModel(core::TuckerModel model) : model_(std::move(model)) {
+  const auto& d = model_.decomposition;
+  HT_CHECK_MSG(!d.factors.empty(), "serve model has no factors");
+  HT_CHECK_MSG(d.core.order() == d.factors.size(),
+               "core order " << d.core.order() << " != " << d.factors.size()
+                             << " factors");
+  HT_CHECK_MSG(model_.dims.size() == d.factors.size(),
+               "dims/order mismatch in serve model");
+  for (std::size_t n = 0; n < d.factors.size(); ++n) {
+    HT_CHECK_MSG(d.factors[n].rows() == model_.dims[n],
+                 "factor " << n << " has " << d.factors[n].rows()
+                           << " rows, dims say " << model_.dims[n]);
+    HT_CHECK_MSG(d.factors[n].cols() == d.core.shape()[n],
+                 "factor " << n << " rank " << d.factors[n].cols()
+                           << " != core dim " << d.core.shape()[n]);
+  }
+  ranks_ = d.core.shape();
+
+  // Precompute the per-mode core unfoldings (mode 0 is the flat layout
+  // itself). Each is prod(ranks) doubles — serving metadata, not model
+  // payload, so building them off a mapped core does not break the
+  // zero-copy contract (CopyStats counts load-path copies only).
+  unfold_.resize(ranks_.size());
+  const auto flat = d.core.flat();
+  for (std::size_t m = 1; m < ranks_.size(); ++m) {
+    auto& u = unfold_[m];
+    u.assign(flat.size(), 0.0);
+    std::size_t lead = 1, trail = 1;
+    for (std::size_t n = 0; n < m; ++n) lead *= ranks_[n];
+    for (std::size_t n = m + 1; n < ranks_.size(); ++n) trail *= ranks_[n];
+    const std::size_t rm = ranks_[m];
+    const std::size_t cols = lead * trail;
+    // G(m)[r][p*trail + q] = G[..., p fixed leading, r at mode m, q trailing]
+    for (std::size_t p = 0; p < lead; ++p) {
+      for (std::size_t r = 0; r < rm; ++r) {
+        const double* src = flat.data() + (p * rm + r) * trail;
+        double* dst = u.data() + r * cols + p * trail;
+        for (std::size_t q = 0; q < trail; ++q) dst[q] = src[q];
+      }
+    }
+  }
+}
+
+std::shared_ptr<const ServeModel> ServeModel::load(const std::string& path,
+                                                   bool verify) {
+  if (verify) {
+    storage::BundleReader reader(path, storage::LoadMode::kMap);
+    reader.verify_all();
+  }
+  return std::make_shared<const ServeModel>(
+      storage::load_bundle(path, storage::LoadMode::kMap));
+}
+
+bool ServeModel::is_view() const {
+  const auto& d = model_.decomposition;
+  if (d.core.is_view()) return true;
+  for (const auto& f : d.factors) {
+    if (f.is_view()) return true;
+  }
+  return false;
+}
+
+std::span<const double> ServeModel::unfolding(std::size_t mode) const {
+  HT_CHECK(mode < ranks_.size());
+  if (mode == 0) return model_.decomposition.core.flat();
+  return unfold_[mode];
+}
+
+double ServeModel::score(std::span<const index_t> idx,
+                         core::ReconstructWorkspace& ws) const {
+  return core::reconstruct_at(model_.decomposition.core,
+                              model_.decomposition.factors, idx, ws);
+}
+
+double ServeModel::score(std::span<const index_t> idx) const {
+  return score(idx, core::ReconstructWorkspace::tls());
+}
+
+std::size_t ServeModel::slice_size(std::size_t mode) const {
+  return core::slice_size(ranks_, mode);
+}
+
+void ServeModel::entity_slice(std::size_t mode, index_t i,
+                              std::span<double> out) const {
+  HT_CHECK_MSG(i < model_.dims[mode],
+               "entity index " << i << " out of range for mode " << mode);
+  core::contract_unfolding(unfolding(mode),
+                           model_.decomposition.factors[mode].row(i), out);
+}
+
+double ServeModel::score_from_slice(std::size_t mode,
+                                    std::span<const double> slice,
+                                    std::span<const index_t> idx,
+                                    core::ReconstructWorkspace& ws) const {
+  return core::score_slice(slice, ranks_, mode,
+                           model_.decomposition.factors, idx, ws);
+}
+
+void ServeModel::mode_vector_from_slice(std::size_t mode,
+                                        std::span<const double> slice,
+                                        std::size_t target,
+                                        std::span<const index_t> idx,
+                                        core::ReconstructWorkspace& ws,
+                                        std::span<double> out) const {
+  core::slice_mode_vector(slice, ranks_, mode, target,
+                          model_.decomposition.factors, idx, ws, out);
+}
+
+}  // namespace ht::serve

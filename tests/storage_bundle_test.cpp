@@ -181,7 +181,7 @@ TEST(BundleRoundTrip, CsfFromBundleMatchesFreshBuild) {
     EXPECT_EQ(lt.num_leaves(), trained_tensor().nnz());
     for (std::size_t d = 0; d < ft.levels(); ++d) {
       EXPECT_TRUE(lt.idx[d] == ft.idx[d]);
-      if (d >= 1) EXPECT_TRUE(lt.ptr[d] == ft.ptr[d]);
+      if (d >= 1) { EXPECT_TRUE(lt.ptr[d] == ft.ptr[d]); }
     }
     EXPECT_TRUE(lt.leaf_entry == ft.leaf_entry);
     EXPECT_TRUE(lt.root_leaf_ptr == ft.root_leaf_ptr);
