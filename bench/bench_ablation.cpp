@@ -35,7 +35,14 @@
 //      traffic shape the per-user contraction cache is built for), with
 //      the cache on vs off and batched vs single-query submission
 //      (perf-trajectory entry: on the skewed trace the cache must be worth
-//      >1.5x QPS, and batching must never lose to single-query).
+//      >1.5x QPS, and batching must never lose to single-query);
+//  10. ALTO bit-interleaved linearized kernel against the other three
+//      families, plus the structure-memory comparison: one sorted key/value
+//      array serving every mode vs the CSF forest's N trees
+//      (perf-trajectory entry: ALTO structure memory must stay <= 0.5x the
+//      CSF forest on 3-mode tensors, the kAlto TTMc must stay within 1.3x
+//      of the best CSF time on scattered-fiber inputs, and kAuto must stay
+//      within 1.05x of the per-case winner).
 //
 // With --json PATH, every arm also appends machine-readable records so CI
 // publishes BENCH_ablation.json instead of hand-copied tables.
@@ -70,12 +77,13 @@ double time_ttmc_mode(const ht::tensor::CooTensor& x,
                       const std::vector<ht::la::Matrix>& factors,
                       const ht::core::SymbolicTtmc& sym, std::size_t n,
                       const ht::core::TtmcOptions& options, int reps,
-                      const ht::tensor::CsfTree* csf = nullptr) {
+                      const ht::tensor::CsfTree* csf = nullptr,
+                      const ht::tensor::AltoTensor* alto = nullptr) {
   double best = 1e300;
   ht::la::Matrix y;
   for (int rep = 0; rep < reps; ++rep) {
     ht::WallTimer t;
-    ht::core::ttmc_mode(x, factors, n, sym.modes[n], y, options, csf);
+    ht::core::ttmc_mode(x, factors, n, sym.modes[n], y, options, csf, alto);
     best = std::min(best, t.seconds());
   }
   return best;
@@ -260,6 +268,147 @@ void csf_kernel_ablation(bool smoke, htb::JsonReport& report) {
         .num("csf_build_s", csf_build_s)
         .num("csf_vs_best_flat", s_best_flat / s_csf)
         .num("auto_vs_winner", s_winner / s_auto)
+        .str("auto_picks", picks);
+  }
+  std::printf("\n");
+}
+
+// Arm 10: the ALTO linearized kernel against all three established
+// families, per mode and as a full sweep, plus the structure-memory
+// headline. The memory comparison is the format's reason to exist: the CSF
+// forest keeps one tree per mode (O(order * nnz) pointers + a value copy
+// per tree) where ALTO keeps a single sorted key/value/gather-map array
+// (~24 B/nnz total) that serves every mode — so on a 3-mode tensor the
+// linearized structure must come in at no more than half the forest. The
+// time comparison targets the scattered regime (singleton fibers, no
+// prefix sharing): there CSF's trees degenerate to flat walks while ALTO
+// still gets dense staging blocks from its partition index ranges, so the
+// kAlto kernel must stay within 1.3x of the best CSF time while paying a
+// fraction of the memory. kAuto (handed both structures) must stay within
+// noise of the per-case winner everywhere.
+void alto_kernel_ablation(bool smoke, htb::JsonReport& report) {
+  using namespace ht;
+  std::printf("=== Ablation 10: ALTO linearized vs per-nnz/fiber/CSF ===\n");
+  const tensor::nnz_t target_nnz = smoke ? 20000 : 2000000;
+  const tensor::Shape shape = smoke ? tensor::Shape{200, 200, 400}
+                                    : tensor::Shape{3000, 3000, 5000};
+  const std::vector<tensor::index_t> ranks(3, 10);
+  const int reps = smoke ? 1 : 5;
+
+  struct Arm {
+    std::string name;
+    tensor::CooTensor tensor;
+  };
+  std::vector<Arm> arms;
+  arms.push_back({"fibered_8",
+                  tensor::random_fibered(shape, target_nnz / 8, 8, 97)});
+  arms.push_back({"scattered",
+                  tensor::random_fibered(shape, target_nnz, 1, 97)});
+
+  std::printf("%-11s %6s %12s %12s %12s %12s %12s %9s %9s %s\n", "tensor",
+              "mode", "per-nnz(s)", "fiber(s)", "csf(s)", "alto(s)",
+              "auto(s)", "vs_csf", "auto_spd", "auto");
+  for (const Arm& arm : arms) {
+    const auto& x = arm.tensor;
+    const core::SymbolicTtmc sym = core::SymbolicTtmc::build(x);
+    const tensor::CsfTensor csf = tensor::CsfTensor::build(x);
+    WallTimer t_build;
+    const tensor::AltoTensor alto = tensor::AltoTensor::build(x);
+    const double alto_build_s = t_build.seconds();
+    const auto factors = core::random_orthonormal_factors(x.shape(), ranks, 7);
+
+    // The memory headline: one linearized array vs the forest's N trees.
+    const std::size_t csf_bytes = csf.format_bytes();
+    const std::size_t alto_bytes = alto.format_bytes();
+    const double mem_ratio =
+        static_cast<double>(alto_bytes) / static_cast<double>(csf_bytes);
+    std::printf("%-11s structure memory: alto %zu B vs csf forest %zu B "
+                "(%.2fx, %u key bits)\n",
+                arm.name.c_str(), alto_bytes, csf_bytes, mem_ratio,
+                alto.key_bits);
+    report.add()
+        .str("arm", "alto_memory")
+        .str("tensor", arm.name)
+        .num("nnz", static_cast<double>(x.nnz()))
+        .num("key_bits", alto.key_bits)
+        .num("alto_bytes", static_cast<double>(alto_bytes))
+        .num("csf_forest_bytes", static_cast<double>(csf_bytes))
+        .num("alto_vs_csf_bytes", mem_ratio);
+
+    core::TtmcOptions per_nnz, fiber, use_csf, use_alto, use_auto;
+    per_nnz.kernel = core::TtmcKernel::kPerNnz;
+    fiber.kernel = core::TtmcKernel::kFiberFactored;
+    use_csf.kernel = core::TtmcKernel::kCsf;
+    use_alto.kernel = core::TtmcKernel::kAlto;
+
+    double s_nnz = 0, s_fib = 0, s_csf = 0, s_alto = 0, s_auto = 0;
+    std::string picks;
+    for (std::size_t n = 0; n < x.order(); ++n) {
+      double t_nnz = 1e300, t_fib = 1e300, t_csf = 1e300, t_alto = 1e300,
+             t_auto = 1e300;
+      // Interleaved best-of-reps so machine drift hits all five alike.
+      for (int rep = 0; rep < reps; ++rep) {
+        t_nnz =
+            std::min(t_nnz, time_ttmc_mode(x, factors, sym, n, per_nnz, 1));
+        t_fib = std::min(t_fib, time_ttmc_mode(x, factors, sym, n, fiber, 1));
+        t_csf = std::min(t_csf, time_ttmc_mode(x, factors, sym, n, use_csf, 1,
+                                               &csf.modes[n]));
+        t_alto = std::min(t_alto, time_ttmc_mode(x, factors, sym, n, use_alto,
+                                                 1, nullptr, &alto));
+        t_auto = std::min(t_auto, time_ttmc_mode(x, factors, sym, n, use_auto,
+                                                 1, &csf.modes[n], &alto));
+      }
+      const auto picked = core::ttmc_selected_kernel(sym.modes[n], x.order(),
+                                                     {}, &csf.modes[n], &alto);
+      const char* pick_name = picked == core::TtmcKernel::kAlto     ? "alto"
+                              : picked == core::TtmcKernel::kCsf    ? "csf"
+                              : picked == core::TtmcKernel::kFiberFactored
+                                  ? "fiber"
+                                  : "nnz";
+      picks += pick_name[0];
+      const double t_best = std::min({t_nnz, t_fib, t_csf, t_alto});
+      std::printf("%-11s %6zu %12.4f %12.4f %12.4f %12.4f %12.4f %8.2fx "
+                  "%8.2fx %s\n",
+                  arm.name.c_str(), n, t_nnz, t_fib, t_csf, t_alto, t_auto,
+                  t_csf / t_alto, t_best / t_auto, pick_name);
+      report.add()
+          .str("arm", "alto_kernel")
+          .str("tensor", arm.name)
+          .num("mode", static_cast<double>(n))
+          .num("nnz", static_cast<double>(x.nnz()))
+          .num("t_per_nnz_s", t_nnz)
+          .num("t_fiber_s", t_fib)
+          .num("t_csf_s", t_csf)
+          .num("t_alto_s", t_alto)
+          .num("t_auto_s", t_auto)
+          .num("alto_vs_csf", t_alto / t_csf)
+          .num("alto_vs_best", t_alto / t_best)
+          .num("auto_vs_winner", t_auto / t_best)
+          .str("auto_pick", pick_name);
+      s_nnz += t_nnz;
+      s_fib += t_fib;
+      s_csf += t_csf;
+      s_alto += t_alto;
+      s_auto += t_auto;
+    }
+    const double s_winner = std::min({s_nnz, s_fib, s_csf, s_alto});
+    std::printf("%-11s  sweep %12.4f %12.4f %12.4f %12.4f %12.4f %8.2fx "
+                "%8.2fx %s (alto build %.2fs)\n",
+                arm.name.c_str(), s_nnz, s_fib, s_csf, s_alto, s_auto,
+                s_csf / s_alto, s_winner / s_auto, picks.c_str(),
+                alto_build_s);
+    report.add()
+        .str("arm", "alto_kernel_sweep")
+        .str("tensor", arm.name)
+        .num("nnz", static_cast<double>(x.nnz()))
+        .num("t_per_nnz_s", s_nnz)
+        .num("t_fiber_s", s_fib)
+        .num("t_csf_s", s_csf)
+        .num("t_alto_s", s_alto)
+        .num("t_auto_s", s_auto)
+        .num("alto_build_s", alto_build_s)
+        .num("alto_vs_csf", s_alto / s_csf)
+        .num("auto_vs_winner", s_auto / s_winner)
         .str("auto_picks", picks);
   }
   std::printf("\n");
@@ -723,6 +872,7 @@ int main(int argc, char** argv) {
   htb::JsonReport report(htb::json_path_from_args(argc, argv));
   fiber_kernel_ablation(htb::bench_smoke(), report);
   csf_kernel_ablation(htb::bench_smoke(), report);
+  alto_kernel_ablation(htb::bench_smoke(), report);
   tree_scheduler_ablation(htb::bench_smoke(), report);
   trsvd_backend_ablation(htb::bench_smoke(), report);
   model_store_ablation(htb::bench_smoke(), report);

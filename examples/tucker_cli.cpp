@@ -2,7 +2,9 @@
 // run HOOI, print fit diagnostics, optionally export the factor matrices.
 //
 //   ./tucker_cli INPUT.tns R1,R2,...  [--iters N] [--tol T] [--threads P]
-//                [--init random|range] [--ttmc-kernel auto|nnz|fiber|csf]
+//                [--init random|range]
+//                [--ttmc-kernel auto|nnz|fiber|csf|alto]
+//                [--structure-budget BYTES]
 //                [--fiber-threshold T] [--ttmc-strategy auto|direct|tree]
 //                [--trsvd-method lanczos|gram|block|rand|auto]
 //                [--trsvd-block B] [--trsvd-oversample P] [--trsvd-power Q]
@@ -79,7 +81,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: tucker_cli INPUT.tns R1,R2,... [--iters N] [--tol T]"
                " [--threads P] [--init random|range]"
-               " [--ttmc-kernel auto|nnz|fiber|csf] [--fiber-threshold T]"
+               " [--ttmc-kernel auto|nnz|fiber|csf|alto]"
+               " [--structure-budget BYTES] [--fiber-threshold T]"
                " [--ttmc-strategy auto|direct|tree]"
                " [--trsvd-method lanczos|gram|block|rand|auto]"
                " [--trsvd-block B] [--trsvd-oversample P] [--trsvd-power Q]"
@@ -123,11 +126,18 @@ void print_model(const ht::core::TuckerModel& m, bool mapped) {
     dims += std::to_string(m.dims[n]);
     ranks += std::to_string(r[n]);
   }
-  std::printf("model: %s -> core %s, fit %.6f, csf %s (%s load, %llu bytes"
-              " copied)\n",
+  std::printf("model: %s -> core %s, fit %.6f, csf %s, alto %s (%s load,"
+              " %llu bytes copied)\n",
               dims.c_str(), ranks.c_str(), m.fit,
-              m.has_csf() ? "yes" : "no", mapped ? "mmap" : "heap",
+              m.has_csf() ? "yes" : "no", m.has_alto() ? "yes" : "no",
+              mapped ? "mmap" : "heap",
               static_cast<unsigned long long>(ht::storage::CopyStats::bytes()));
+  if (m.has_csf()) {
+    std::printf("csf structure memory: %zu bytes\n", m.csf->format_bytes());
+  }
+  if (m.has_alto()) {
+    std::printf("alto structure memory: %zu bytes\n", m.alto->format_bytes());
+  }
   std::printf("%s", m.provenance_text().c_str());
 }
 
@@ -149,6 +159,27 @@ int run_inspect_model(const std::string& path, bool verify) {
   try {
     const auto info = ht::storage::inspect_bundle(path);
     std::printf("%s", ht::storage::describe_bundle(info).c_str());
+    // Structure-memory roll-up: payload bytes per index-structure family
+    // (the on-disk counterpart of CsfTensor/AltoTensor::format_bytes()).
+    std::uint64_t csf_bytes = 0, alto_bytes = 0;
+    for (const auto& e : info.sections) {
+      const auto kind = static_cast<ht::storage::SectionKind>(e.kind);
+      if (kind >= ht::storage::SectionKind::kCsfLevelModes &&
+          kind <= ht::storage::SectionKind::kCsfValues) {
+        csf_bytes += e.bytes;
+      } else if (kind >= ht::storage::SectionKind::kAltoKeysLo &&
+                 kind <= ht::storage::SectionKind::kAltoPartMax) {
+        alto_bytes += e.bytes;
+      }
+    }
+    if (csf_bytes > 0) {
+      std::printf("csf structure memory: %llu bytes\n",
+                  static_cast<unsigned long long>(csf_bytes));
+    }
+    if (alto_bytes > 0) {
+      std::printf("alto structure memory: %llu bytes\n",
+                  static_cast<unsigned long long>(alto_bytes));
+    }
     if (verify) {
       ht::storage::BundleReader reader(path, ht::storage::LoadMode::kMap);
       reader.verify_all();
@@ -220,9 +251,14 @@ int main(int argc, char** argv) {
         options.ttmc_kernel = ht::core::TtmcKernel::kFiberFactored;
       } else if (v == "csf") {
         options.ttmc_kernel = ht::core::TtmcKernel::kCsf;
+      } else if (v == "alto") {
+        options.ttmc_kernel = ht::core::TtmcKernel::kAlto;
       } else {
         return usage();
       }
+    } else if (arg == "--structure-budget") {
+      options.ttmc_structure_budget = std::atof(next());
+      if (options.ttmc_structure_budget < 0) return usage();
     } else if (arg == "--fiber-threshold") {
       options.ttmc_fiber_threshold = std::atof(next());
     } else if (arg == "--ttmc-strategy") {
@@ -315,12 +351,14 @@ int main(int argc, char** argv) {
     options.ranks = max_ranks;
     ht::core::HooiResult result;
     std::shared_ptr<const ht::tensor::CsfTensor> csf;
+    std::shared_ptr<const ht::tensor::AltoTensor> alto;
     if (save_model_path.empty()) {
       result = ht::core::hooi(x, options);
     } else {
       // Saving a model: run the preprocessing here (the same structures
-      // hooi would build internally) so the CSF trees can ride along in
-      // the bundle instead of being discarded with the solver state.
+      // hooi would build internally) so the CSF trees / ALTO arrays can
+      // ride along in the bundle instead of being discarded with the
+      // solver state.
       const bool with_fibers =
           options.ttmc_kernel == ht::core::TtmcKernel::kAuto ||
           options.ttmc_kernel == ht::core::TtmcKernel::kFiberFactored;
@@ -332,13 +370,18 @@ int main(int argc, char** argv) {
       }
       const ht::core::TtmcOptions ttmc_options{
           options.ttmc_schedule, options.ttmc_kernel,
-          options.ttmc_fiber_threshold, options.ttmc_strategy};
+          options.ttmc_fiber_threshold, options.ttmc_strategy,
+          options.ttmc_structure_budget};
       if (ht::core::ttmc_wants_csf(symbolic, ttmc_options)) {
         csf = std::make_shared<ht::tensor::CsfTensor>(
             ht::tensor::CsfTensor::build(x));
       }
+      if (ht::core::ttmc_wants_alto(symbolic, x.shape(), ttmc_options)) {
+        alto = std::make_shared<ht::tensor::AltoTensor>(
+            ht::tensor::AltoTensor::build(x));
+      }
       result = ht::core::hooi(x, options, symbolic,
-                              tree ? &*tree : nullptr, csf.get());
+                              tree ? &*tree : nullptr, csf.get(), alto.get());
     }
     std::printf("fit %.6f after %d sweeps (converged=%s)\n",
                 result.final_fit(), result.iterations,
@@ -352,6 +395,7 @@ int main(int argc, char** argv) {
     if (!save_model_path.empty()) {
       auto model = ht::core::TuckerModel::from_hooi(x, std::move(result));
       model.csf = std::move(csf);
+      model.alto = std::move(alto);
       ht::storage::save_bundle(model, save_model_path);
       std::printf("saved model to %s\n", save_model_path.c_str());
     }

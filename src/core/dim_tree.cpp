@@ -150,7 +150,8 @@ namespace {
 double direct_mode_cost(const ModeSymbolic& sym, std::size_t order,
                         std::size_t mode, std::span<const index_t> ranks,
                         const TtmcOptions& options,
-                        const tensor::CsfTree* csf) {
+                        const tensor::CsfTree* csf,
+                        const tensor::AltoTensor* alto) {
   const auto nnz = static_cast<double>(sym.nnz_order.size());
   double width = 1.0;
   for (std::size_t t = 0; t < order; ++t) {
@@ -158,7 +159,24 @@ double direct_mode_cost(const ModeSymbolic& sym, std::size_t order,
   }
   const double rows_write = static_cast<double>(sym.num_rows()) * width;
   const double nnz_traffic = nnz * kSlotIndirectCost;
-  const TtmcKernel kernel = ttmc_selected_kernel(sym, order, options, csf);
+  const TtmcKernel kernel =
+      ttmc_selected_kernel(sym, order, options, csf, alto);
+  if (kernel == TtmcKernel::kAlto) {
+    // Phase 1 pays the full Kronecker expansion per nonzero (like per-nnz)
+    // but streams keys/values sequentially (the gathered traffic rate);
+    // phase 2 adds one staged row per touched (partition, row) pair, at
+    // most min(range, partition nnz) rows each.
+    double merge_rows = 0.0;
+    for (std::size_t p = 0; p < alto->num_partitions(); ++p) {
+      const double range =
+          static_cast<double>(alto->partition_max(p, mode) -
+                              alto->partition_min(p, mode)) +
+          1.0;
+      merge_rows += std::min(range, static_cast<double>(alto->partition_nnz(p)));
+    }
+    return nnz * width + merge_rows * width + rows_write +
+           nnz * kSlotGatheredCost;
+  }
   if (kernel == TtmcKernel::kCsf) {
     // Every node at level d pays one expansion of its partial into its
     // parent's (width of the parent partial); leaves are the d = L-1 term.
@@ -201,11 +219,13 @@ TtmcScheduler::TtmcScheduler(const CooTensor& x, const SymbolicTtmc& symbolic,
                              const DimTreePlan* tree,
                              std::span<const index_t> ranks,
                              const TtmcOptions& options,
-                             const tensor::CsfTensor* csf)
+                             const tensor::CsfTensor* csf,
+                             const tensor::AltoTensor* alto)
     : x_(&x),
       symbolic_(&symbolic),
       tree_(tree),
       csf_(csf),
+      alto_(alto),
       ranks_(ranks.begin(), ranks.end()),
       options_(options) {
   const std::size_t order = x.order();
@@ -214,6 +234,8 @@ TtmcScheduler::TtmcScheduler(const CooTensor& x, const SymbolicTtmc& symbolic,
   HT_CHECK_MSG(ranks_.size() == order, "need one rank per mode");
   HT_CHECK_MSG(csf_ == nullptr || csf_->order() == order,
                "CSF trees built for another tensor order");
+  HT_CHECK_MSG(alto_ == nullptr || alto_->shape == x.shape(),
+               "ALTO structure built for another shape");
   if (tree_ != nullptr) {
     HT_CHECK_MSG(tree_->order() == order, "tree plan built for another order");
     for (std::size_t n = 0; n < order; ++n) {
@@ -232,7 +254,7 @@ void TtmcScheduler::select_strategies() {
   serve_cost_.assign(order, 0.0);
   for (std::size_t n = 0; n < order; ++n) {
     direct_cost_[n] = direct_mode_cost(symbolic_->modes[n], order, n, ranks_,
-                                       options_, csf_tree(n));
+                                       options_, csf_tree(n), alto_);
   }
   if (tree_ == nullptr) {
     HT_CHECK_MSG(options_.strategy != TtmcStrategy::kTree,
@@ -394,7 +416,7 @@ void TtmcScheduler::compute(const std::vector<la::Matrix>& factors,
     serve(factors, mode, nullptr, 0, y);
   } else {
     ttmc_mode(*x_, factors, mode, symbolic_->modes[mode], y, options_,
-              csf_tree(mode));
+              csf_tree(mode), alto_);
   }
   // The caller updates factors[mode] next (HOOI's contract): the partial
   // contracted over mode's own group goes stale. Conservative for callers
@@ -412,7 +434,7 @@ void TtmcScheduler::compute_subset(const std::vector<la::Matrix>& factors,
     serve(factors, mode, positions.data(), positions.size(), y);
   } else {
     ttmc_mode_subset(*x_, factors, mode, symbolic_->modes[mode], positions, y,
-                     options_, csf_tree(mode));
+                     options_, csf_tree(mode), alto_);
   }
   if (tree_ != nullptr) {
     partial_[tree_->in_left(mode) ? 0 : 1].valid = false;

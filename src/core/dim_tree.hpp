@@ -123,16 +123,18 @@ class DimTreePlan {
 /// factors outside this pattern must call invalidate().
 class TtmcScheduler {
  public:
-  /// `tree` may be null: every mode is then evaluated directly. `csf` may
-  /// be null: the direct path then never uses the CSF kernel (callers that
-  /// want it — hooi, rank_sweep, dist_hooi — consult ttmc_wants_csf and
-  /// build a tensor::CsfTensor up front so its cost lands in the symbolic
-  /// timers and is reused across runs). `symbolic`, `tree`, `csf`, and `x`
-  /// must outlive the scheduler.
+  /// `tree` may be null: every mode is then evaluated directly. `csf` and
+  /// `alto` may be null: the direct path then never uses the CSF (resp.
+  /// ALTO) kernel (callers that want them — hooi, rank_sweep, dist_hooi —
+  /// consult ttmc_wants_csf/ttmc_wants_alto and build the structure up
+  /// front so its cost lands in the symbolic timers and is reused across
+  /// runs). `symbolic`, `tree`, `csf`, `alto`, and `x` must outlive the
+  /// scheduler.
   TtmcScheduler(const CooTensor& x, const SymbolicTtmc& symbolic,
                 const DimTreePlan* tree, std::span<const index_t> ranks,
                 const TtmcOptions& options,
-                const tensor::CsfTensor* csf = nullptr);
+                const tensor::CsfTensor* csf = nullptr,
+                const tensor::AltoTensor* alto = nullptr);
 
   /// Strategy the cost model (or an explicit request) resolved for a mode.
   [[nodiscard]] TtmcStrategy selected(std::size_t mode) const {
@@ -186,6 +188,7 @@ class TtmcScheduler {
   const SymbolicTtmc* symbolic_;
   const DimTreePlan* tree_;
   const tensor::CsfTensor* csf_ = nullptr;
+  const tensor::AltoTensor* alto_ = nullptr;
   std::vector<index_t> ranks_;
   TtmcOptions options_;
   std::vector<TtmcStrategy> selected_;

@@ -67,6 +67,12 @@ HooiResult hooi(const CooTensor& x, const HooiOptions& options,
 HooiResult hooi(const CooTensor& x, const HooiOptions& options,
                 const SymbolicTtmc& symbolic, const DimTreePlan* tree,
                 const tensor::CsfTensor* csf) {
+  return hooi(x, options, symbolic, tree, csf, nullptr);
+}
+
+HooiResult hooi(const CooTensor& x, const HooiOptions& options,
+                const SymbolicTtmc& symbolic, const DimTreePlan* tree,
+                const tensor::CsfTensor* csf, const tensor::AltoTensor* alto) {
   validate_hooi_options(x, options);
   HT_CHECK_MSG(symbolic.modes.size() == x.order(),
                "symbolic structure does not match tensor");
@@ -83,7 +89,8 @@ HooiResult hooi(const CooTensor& x, const HooiOptions& options,
   const double x_norm2 = x.norm2_squared();
   const TtmcOptions ttmc_options{options.ttmc_schedule, options.ttmc_kernel,
                                  options.ttmc_fiber_threshold,
-                                 options.ttmc_strategy};
+                                 options.ttmc_strategy,
+                                 options.ttmc_structure_budget};
 
   // CSF trees are preprocessing like the symbolic pass and the tree plan:
   // pattern-only, built once, reused across iterations (and, when the
@@ -95,8 +102,17 @@ HooiResult hooi(const CooTensor& x, const HooiOptions& options,
     csf = &*owned_csf;
     result.timers.symbolic += t_csf.seconds();
   }
+  // Same contract for the linearized structure: one sorted key array serves
+  // every mode, so its (sort-dominated) build cost amortizes identically.
+  std::optional<tensor::AltoTensor> owned_alto;
+  if (alto == nullptr && ttmc_wants_alto(symbolic, x.shape(), ttmc_options)) {
+    WallTimer t_alto;
+    owned_alto.emplace(tensor::AltoTensor::build(x));
+    alto = &*owned_alto;
+    result.timers.symbolic += t_alto.seconds();
+  }
   TtmcScheduler scheduler(x, symbolic, tree, options.ranks, ttmc_options,
-                          csf);
+                          csf, alto);
 
   la::Matrix y;  // compact Y(n), reused across modes/iterations
   la::Matrix last_compact_u;

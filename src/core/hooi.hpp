@@ -41,6 +41,10 @@ struct HooiOptions {
   /// Cross-mode evaluation strategy: direct kernels per mode, dimension-tree
   /// serving from shared partials, or the per-mode flop model (kAuto).
   TtmcStrategy ttmc_strategy = TtmcStrategy::kAuto;
+  /// Soft memory budget (bytes) for per-kernel index structures under
+  /// kAuto: when the CSF forest estimate exceeds it but the single ALTO
+  /// array fits, kAuto builds ALTO instead. 0 = unlimited (no trade).
+  double ttmc_structure_budget = 0.0;
   /// OpenMP threads (0 = runtime default). Paper Table V sweeps this.
   int num_threads = 0;
   std::uint64_t seed = 42;
@@ -92,9 +96,19 @@ HooiResult hooi(const CooTensor& x, const HooiOptions& options,
 /// (nullable: the direct TTMc path then uses the flat-index kernels, or
 /// builds nothing if none are wanted). rank_sweep builds the trees once for
 /// its whole grid; every structure is pattern-only and rank-independent.
+/// Builds an ALTO structure internally when ttmc_wants_alto says the
+/// kernel options ask for one (time charged to timers.symbolic).
 HooiResult hooi(const CooTensor& x, const HooiOptions& options,
                 const SymbolicTtmc& symbolic, const DimTreePlan* tree,
                 const tensor::CsfTensor* csf);
+
+/// Fully preprocessed variant with a prebuilt ALTO structure as well
+/// (nullable: the direct TTMc path then never uses the kAlto kernel).
+/// Unlike the CSF trees, ALTO carries its own value array, so a prebuilt
+/// one must have values attached.
+HooiResult hooi(const CooTensor& x, const HooiOptions& options,
+                const SymbolicTtmc& symbolic, const DimTreePlan* tree,
+                const tensor::CsfTensor* csf, const tensor::AltoTensor* alto);
 
 /// Validate options against the tensor; throws ht::InvalidArgument.
 void validate_hooi_options(const CooTensor& x, const HooiOptions& options);

@@ -49,10 +49,16 @@ RankSweepResult rank_sweep(const CooTensor& x,
   // CSF trees are pattern-only as well: one build serves every rank choice.
   const TtmcOptions ttmc_options{base.ttmc_schedule, base.ttmc_kernel,
                                  base.ttmc_fiber_threshold,
-                                 base.ttmc_strategy};
+                                 base.ttmc_strategy,
+                                 base.ttmc_structure_budget};
   std::optional<tensor::CsfTensor> csf;
   if (ttmc_wants_csf(symbolic, ttmc_options)) {
     csf.emplace(tensor::CsfTensor::build(x));
+  }
+  // Likewise the ALTO structure: the key sort is rank-independent.
+  std::optional<tensor::AltoTensor> alto;
+  if (ttmc_wants_alto(symbolic, x.shape(), ttmc_options)) {
+    alto.emplace(tensor::AltoTensor::build(x));
   }
   result.symbolic_seconds = t_sym.seconds();
 
@@ -62,7 +68,8 @@ RankSweepResult rank_sweep(const CooTensor& x,
     options.ranks = ranks;
     WallTimer t;
     HooiResult run = hooi(x, options, symbolic,
-                          tree ? &*tree : nullptr, csf ? &*csf : nullptr);
+                          tree ? &*tree : nullptr, csf ? &*csf : nullptr,
+                          alto ? &*alto : nullptr);
     RankSweepEntry entry;
     entry.ranks = ranks;
     entry.fit = run.final_fit();
@@ -80,6 +87,12 @@ RankSweepResult rank_sweep(const CooTensor& x,
   if (result.best_model && csf) {
     result.best_model->csf =
         std::make_shared<tensor::CsfTensor>(std::move(*csf));
+  }
+  // Same for the ALTO structure — it carries its own sorted value array,
+  // so a serve process can run kAlto TTMc straight from the bundle.
+  if (result.best_model && alto) {
+    result.best_model->alto =
+        std::make_shared<tensor::AltoTensor>(std::move(*alto));
   }
   return result;
 }

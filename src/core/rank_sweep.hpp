@@ -26,9 +26,9 @@ struct RankSweepResult {
   /// Seconds spent building the shared symbolic structure (paid once).
   double symbolic_seconds = 0.0;
   /// The best-fit run packaged as a first-class model (provenance stamped,
-  /// shared CSF trees attached when the sweep built them), ready for
-  /// storage::save_bundle. Only the winner is kept — the sweep never holds
-  /// more than one extra decomposition.
+  /// shared CSF trees / ALTO structure attached when the sweep built them),
+  /// ready for storage::save_bundle. Only the winner is kept — the sweep
+  /// never holds more than one extra decomposition.
   std::optional<TuckerModel> best_model;
 
   /// Entry with the smallest core that reaches `fit_fraction` of the best

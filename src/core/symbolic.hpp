@@ -77,6 +77,17 @@ struct ModeSymbolic {
                   : static_cast<double>(nnz_order.size()) /
                         static_cast<double>(f);
   }
+
+  /// Bytes of this mode's update-list and fiber-index arrays — the
+  /// structure-memory number bench_ablation reports alongside
+  /// CsfTensor::format_bytes() and AltoTensor::format_bytes().
+  [[nodiscard]] std::size_t format_bytes() const {
+    return rows.size() * sizeof(index_t) +
+           (row_ptr.size() + nnz_order.size() + fiber_ptr.size() +
+            fiber_row_ptr.size() + subfiber_ptr.size() +
+            subfiber_fiber_ptr.size()) *
+               sizeof(nnz_t);
+  }
 };
 
 /// Symbolic TTMc for all modes. Modes are processed in parallel (they are

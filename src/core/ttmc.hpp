@@ -7,7 +7,7 @@
 // Rows are independent (single writer), so the loop is a lock-free OpenMP
 // parfor; the paper uses dynamic scheduling to absorb slice-size skew.
 //
-// Three kernel families are provided per mode:
+// Four kernel families are provided per mode:
 //   per-nnz:        every nonzero pays the full Kronecker-row expansion
 //                   (R_a*R_b flops for 3-mode, R_a*R_b*R_c for 4-mode);
 //   fiber-factored: nonzeros sharing the leading other-mode index (one
@@ -23,11 +23,23 @@
 //                   scattered from tree Kronecker order into Y(n)'s layout.
 //                   Root subtrees are dispatched in nnz-balanced tiles so
 //                   skewed rows cannot serialize a thread.
+//   ALTO:           a two-phase sweep over the single linearized structure
+//                   (tensor/alto.*, any order >= 2, the same structure for
+//                   every mode): phase 1 streams each nnz-balanced
+//                   partition's keys and values sequentially, delinearizes,
+//                   and accumulates the Kronecker expansion into a dense
+//                   staging block over the partition's narrow mode-n index
+//                   range; phase 2 merges staging rows into Y(n) in fixed
+//                   partition order with one writer per output row.
+//                   Partitions are processed in fixed-byte waves so staging
+//                   memory is bounded by a machine-independent constant.
 // TtmcKernel::kAuto picks a factored kernel when the mode's average fiber
 // length (flat index or CSF leaf runs) clears TtmcOptions::fiber_threshold,
 // preferring CSF when a tree was supplied (same flops as fiber-factored,
-// strictly less index traffic), and falls back to per-nnz on fiber-sparse
-// inputs where the per-fiber expansion would not amortize.
+// strictly less index traffic), takes ALTO on out-of-cache tensors when the
+// linearized structure is the only streaming layout in hand, and falls back
+// to per-nnz on fiber-sparse in-cache inputs where neither the per-fiber
+// expansion nor the streaming layout would pay.
 #pragma once
 
 #include <cstddef>
@@ -35,6 +47,7 @@
 
 #include "core/symbolic.hpp"
 #include "la/matrix.hpp"
+#include "tensor/alto.hpp"
 #include "tensor/coo_tensor.hpp"
 #include "tensor/csf.hpp"
 
@@ -46,8 +59,11 @@ enum class Schedule { kDynamic, kStatic };
 /// the symbolic structure carries no fiber index (orders other than 3/4, or
 /// built with with_fibers = false). kCsf degrades to the closest available
 /// factored kernel (fiber-factored, then per-nnz) when the caller supplied
-/// no CSF tree for the mode.
-enum class TtmcKernel { kAuto, kPerNnz, kFiberFactored, kCsf };
+/// no CSF tree for the mode. kAlto degrades the same way when no ALTO
+/// structure was supplied (CSF first if one is in hand), or when one mode's
+/// per-partition staging blocks would exceed the fixed wave budget (a
+/// pathological range x width combination).
+enum class TtmcKernel { kAuto, kPerNnz, kFiberFactored, kCsf, kAlto };
 
 /// Cross-mode evaluation strategy (consumed by core::TtmcScheduler, not by
 /// the single-mode entry points below):
@@ -67,22 +83,48 @@ struct TtmcOptions {
   /// Cross-mode strategy; only TtmcScheduler reads it (ttmc_mode and
   /// ttmc_mode_subset *are* the direct path).
   TtmcStrategy strategy = TtmcStrategy::kAuto;
+  /// Structure-memory budget in bytes for kAuto's preprocessing decisions
+  /// (0 = unlimited). When the estimated N-tree CSF forest would exceed it,
+  /// ttmc_wants_csf says no and ttmc_wants_alto offers the single
+  /// linearized structure instead (~1/N the footprint) — the
+  /// serve/out-of-core regime where N trees may not fit at all. Explicit
+  /// kernel requests are honored regardless of the budget.
+  double structure_budget_bytes = 0.0;
 };
 
 /// The kernel kAuto (or an explicit request) resolves to for this mode,
-/// given the optional CSF tree rooted at it (nullptr: no CSF available).
-/// Exposed for benches and tests that assert on the heuristic.
+/// given the optional CSF tree rooted at it and/or the optional ALTO
+/// structure (nullptr: not available). Exposed for benches and tests that
+/// assert on the heuristic.
 TtmcKernel ttmc_selected_kernel(const ModeSymbolic& sym, std::size_t order,
                                 const TtmcOptions& options,
-                                const tensor::CsfTree* csf = nullptr);
+                                const tensor::CsfTree* csf = nullptr,
+                                const tensor::AltoTensor* alto = nullptr);
 
 /// Whether the options ask for CSF trees at all: an explicit kCsf request,
 /// or kAuto on a tensor where some mode's statistics favor a factored
 /// kernel (any 3/4-mode with avg fiber length past the threshold, or order
-/// >= 5 where CSF is the only factored family). Callers that own the
-/// preprocessing (hooi, rank_sweep, dist_hooi) use this to decide whether
-/// building a tensor::CsfTensor will pay for itself.
+/// >= 5 where CSF is the only factored family) — unless the forest's
+/// estimated footprint blows TtmcOptions::structure_budget_bytes, in which
+/// case ttmc_wants_alto takes over. Callers that own the preprocessing
+/// (hooi, rank_sweep, dist_hooi) use this to decide whether building a
+/// tensor::CsfTensor will pay for itself.
 bool ttmc_wants_csf(const SymbolicTtmc& symbolic, const TtmcOptions& options);
+
+/// Whether the options ask for an ALTO structure: an explicit kAlto
+/// request, or kAuto under a structure budget that the CSF forest exceeds
+/// but the single linearized structure fits (with the same time heuristics
+/// that would have wanted the forest). Always false when the shape exceeds
+/// the 128-bit key budget.
+bool ttmc_wants_alto(const SymbolicTtmc& symbolic, const tensor::Shape& shape,
+                     const TtmcOptions& options);
+
+/// Build-free planning estimates of structure memory (bytes): the N-tree
+/// CSF forest vs the single ALTO structure for a tensor of this size.
+/// ttmc_wants_csf/ttmc_wants_alto compare these against the structure
+/// budget before committing to a build.
+double csf_forest_bytes_estimate(std::size_t nnz, std::size_t order);
+double alto_bytes_estimate(std::size_t nnz, const tensor::Shape& shape);
 
 /// Width of Y(n) rows: product of factor column counts over modes != n.
 std::size_t ttmc_row_width(const std::vector<la::Matrix>& factors,
@@ -91,11 +133,14 @@ std::size_t ttmc_row_width(const std::vector<la::Matrix>& factors,
 /// Compute the compact Y(n): row r corresponds to global row sym.rows[r].
 /// `y` is resized to (sym.num_rows() x ttmc_row_width()). `csf`, when
 /// non-null, must be the tree rooted at `mode` built from the same tensor
-/// (its root nodes then coincide with the compact symbolic rows).
+/// (its root nodes then coincide with the compact symbolic rows). `alto`,
+/// when non-null, must be built from the same tensor (one structure serves
+/// every mode, so unlike `csf` it is not per-mode).
 void ttmc_mode(const CooTensor& x, const std::vector<la::Matrix>& factors,
                std::size_t mode, const ModeSymbolic& sym, la::Matrix& y,
                const TtmcOptions& options = {},
-               const tensor::CsfTree* csf = nullptr);
+               const tensor::CsfTree* csf = nullptr,
+               const tensor::AltoTensor* alto = nullptr);
 
 /// Single-nonzero contribution: out += value * kron_{t != n} U_t(idx_t, :).
 /// Exposed for tests and the fine-grain distributed path.
@@ -112,6 +157,7 @@ void ttmc_mode_subset(const CooTensor& x,
                       const ModeSymbolic& sym,
                       std::span<const std::uint32_t> positions, la::Matrix& y,
                       const TtmcOptions& options = {},
-                      const tensor::CsfTree* csf = nullptr);
+                      const tensor::CsfTree* csf = nullptr,
+                      const tensor::AltoTensor* alto = nullptr);
 
 }  // namespace ht::core

@@ -23,6 +23,7 @@
 
 #include "core/hooi.hpp"
 #include "core/tucker.hpp"
+#include "tensor/alto.hpp"
 #include "tensor/csf.hpp"
 
 namespace ht::core {
@@ -39,12 +40,17 @@ struct TuckerModel {
   /// Optional per-mode CSF patterns (+values) of the training tensor;
   /// shared_ptr so serve-time readers can alias one tree set.
   std::shared_ptr<const tensor::CsfTensor> csf;
+  /// Optional linearized (ALTO) form of the training tensor — one sorted
+  /// key/value array serving every mode's kAlto TTMc; shared_ptr for the
+  /// same serve-time aliasing.
+  std::shared_ptr<const tensor::AltoTensor> alto;
 
   [[nodiscard]] std::size_t order() const { return decomposition.order(); }
   [[nodiscard]] std::vector<tensor::index_t> ranks() const {
     return decomposition.ranks();
   }
   [[nodiscard]] bool has_csf() const { return csf != nullptr; }
+  [[nodiscard]] bool has_alto() const { return alto != nullptr; }
 
   /// Model value at one coordinate (the serving query primitive).
   [[nodiscard]] double reconstruct_at(std::span<const tensor::index_t> idx) const {

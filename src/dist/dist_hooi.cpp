@@ -427,7 +427,8 @@ DistHooiResult dist_hooi(const CooTensor& x, const DistHooiOptions& options,
   const double x_norm2 = x.norm2_squared();
   const core::TtmcOptions ttmc_options{
       options.ttmc_schedule, options.ttmc_kernel,
-      options.ttmc_fiber_threshold, options.ttmc_strategy};
+      options.ttmc_fiber_threshold, options.ttmc_strategy,
+      options.ttmc_structure_budget};
   const tensor::Shape core_shape(options.ranks.begin(), options.ranks.end());
 
   smp::run_spmd(p, [&](smp::Communicator& comm) {
@@ -458,6 +459,13 @@ DistHooiResult dist_hooi(const CooTensor& x, const DistHooiOptions& options,
         rp.local.nnz() > 0) {
       csf.emplace(tensor::CsfTensor::build(rp.local));
     }
+    // ALTO over the rank-local tensor under the same contract: one sorted
+    // key/value array per rank serves every mode of its local TTMc.
+    std::optional<tensor::AltoTensor> alto;
+    if (core::ttmc_wants_alto(symbolic, rp.local.shape(), ttmc_options) &&
+        rp.local.nnz() > 0) {
+      alto.emplace(tensor::AltoTensor::build(rp.local));
+    }
     core::HooiTimers timers;
     timers.symbolic = t_symbolic.seconds();
 
@@ -485,7 +493,8 @@ DistHooiResult dist_hooi(const CooTensor& x, const DistHooiOptions& options,
 
     core::TtmcScheduler scheduler(rp.local, symbolic,
                                   tree ? &*tree : nullptr, options.ranks,
-                                  ttmc_options, csf ? &*csf : nullptr);
+                                  ttmc_options, csf ? &*csf : nullptr,
+                                  alto ? &*alto : nullptr);
 
     std::vector<la::Matrix> factors = rp.initial_factors;  // local slices
     // Warm restart: adopt this rank's factor slices from a previous run's

@@ -54,8 +54,13 @@ struct DistHooiOptions {
   /// kCsf (and kAuto, when the local statistics favor it) builds CSF trees
   /// over the rank-local tensor: the coarse grain computes its owned rows
   /// through the CSF subset path, the fine grain its local partial rows.
+  /// kAlto likewise builds a rank-local linearized (ALTO) structure and
+  /// serves both grains through the kAlto kernel's row maps.
   core::TtmcKernel ttmc_kernel = core::TtmcKernel::kAuto;
   double ttmc_fiber_threshold = core::TtmcOptions{}.fiber_threshold;
+  /// Per-rank structure-memory budget in bytes for kAuto's CSF-vs-ALTO
+  /// footprint trade (core::TtmcOptions::structure_budget_bytes); 0 = off.
+  double ttmc_structure_budget = 0.0;
   /// Cross-mode TTMc strategy, resolved per rank against its local tensor.
   /// Under the coarse grain the owned-row subsets are served straight from
   /// the rank's partials; under the fine grain the partials hold the

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "storage/mapped_file.hpp"
+#include "tensor/alto.hpp"
 #include "tensor/csf.hpp"
 #include "util/version.hpp"
 
@@ -37,6 +38,13 @@ const char* section_kind_name(SectionKind kind) {
     case SectionKind::kCsfLeafEntry: return "csf.leaf_entry";
     case SectionKind::kCsfRootLeafPtr: return "csf.root_leaf_ptr";
     case SectionKind::kCsfValues: return "csf.values";
+    case SectionKind::kAltoKeysLo: return "alto.keys_lo";
+    case SectionKind::kAltoKeysHi: return "alto.keys_hi";
+    case SectionKind::kAltoValues: return "alto.values";
+    case SectionKind::kAltoPerm: return "alto.perm";
+    case SectionKind::kAltoPartPtr: return "alto.part_ptr";
+    case SectionKind::kAltoPartMin: return "alto.part_min";
+    case SectionKind::kAltoPartMax: return "alto.part_max";
   }
   return "unknown";
 }
@@ -255,6 +263,7 @@ std::string format_meta(const core::TuckerModel& m) {
   s += "order=" + std::to_string(m.order()) + "\n";
   s += std::string("fit=") + fitbuf + "\n";
   s += std::string("has_csf=") + (m.has_csf() ? "1" : "0") + "\n";
+  s += std::string("has_alto=") + (m.has_alto() ? "1" : "0") + "\n";
   for (const auto& [key, value] : m.provenance) {
     HT_CHECK_MSG(key.find('\n') == std::string::npos &&
                      key.find('=') == std::string::npos &&
@@ -363,6 +372,26 @@ void save_bundle(const core::TuckerModel& m, const std::string& path) {
         write_csf_tree(w, m.csf->modes[n], static_cast<std::uint32_t>(n));
       }
     }
+    if (m.has_alto()) {
+      const tensor::AltoTensor& a = *m.alto;
+      w.add_array(SectionKind::kAltoKeysLo, 0, 0, a.key_lo.data(),
+                  a.key_lo.size());
+      if (!a.key_hi.empty()) {
+        w.add_array(SectionKind::kAltoKeysHi, 0, 0, a.key_hi.data(),
+                    a.key_hi.size());
+      }
+      if (a.has_values()) {
+        w.add_array(SectionKind::kAltoValues, 0, 0, a.values.data(),
+                    a.values.size());
+      }
+      w.add_array(SectionKind::kAltoPerm, 0, 0, a.perm.data(), a.perm.size());
+      w.add_array(SectionKind::kAltoPartPtr, 0, 0, a.part_ptr.data(),
+                  a.part_ptr.size());
+      w.add_array(SectionKind::kAltoPartMin, 0, 0, a.part_min.data(),
+                  a.part_min.size());
+      w.add_array(SectionKind::kAltoPartMax, 0, 0, a.part_max.data(),
+                  a.part_max.size());
+    }
     w.finish();
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
@@ -426,6 +455,26 @@ core::TuckerModel load_bundle(const std::string& path, LoadMode mode) {
           load_csf_tree(r, static_cast<std::uint32_t>(n), order));
     }
     m.csf = std::move(csf);
+  }
+
+  if (const SectionEntry* lo = r.find(SectionKind::kAltoKeysLo)) {
+    // Optional sections come back empty when absent; from_views recomputes
+    // the delinearization masks from dims and cross-validates the lengths.
+    Span<std::uint64_t> hi;
+    if (const SectionEntry* e = r.find(SectionKind::kAltoKeysHi)) {
+      hi = r.load<std::uint64_t>(*e);
+    }
+    Span<double> values;
+    if (const SectionEntry* e = r.find(SectionKind::kAltoValues)) {
+      values = r.load<double>(*e);
+    }
+    m.alto = std::make_shared<tensor::AltoTensor>(tensor::AltoTensor::from_views(
+        m.dims, r.load<std::uint64_t>(*lo), std::move(hi),
+        r.load<tensor::nnz_t>(r.require(SectionKind::kAltoPerm)),
+        std::move(values),
+        r.load<tensor::nnz_t>(r.require(SectionKind::kAltoPartPtr)),
+        r.load<tensor::index_t>(r.require(SectionKind::kAltoPartMin)),
+        r.load<tensor::index_t>(r.require(SectionKind::kAltoPartMax))));
   }
   return m;
 }

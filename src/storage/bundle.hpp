@@ -2,7 +2,8 @@
 //
 // A bundle is one self-describing file holding every array of a trained
 // core::TuckerModel — factor matrices, core tensor, dims/ranks, provenance
-// metadata, and (optionally) the per-mode CSF trees of the training tensor.
+// metadata, and (optionally) the per-mode CSF trees and/or the linearized
+// ALTO form of the training tensor.
 // The layout is designed for the two ways a model is consumed:
 //
 //   - LoadMode::kCopy: every payload is read into fresh heap vectors (each
@@ -74,6 +75,15 @@ enum class SectionKind : std::uint32_t {
   kCsfLeafEntry = 9,    // nnz_t[num_leaves]; a = root mode
   kCsfRootLeafPtr = 10, // nnz_t[num_roots + 1]; a = root mode
   kCsfValues = 11,      // double[num_leaves]; a = root mode
+  // ALTO sections (tensor/alto.hpp): the delinearization masks are a pure
+  // function of kDims, so only the key/value/partition arrays are stored.
+  kAltoKeysLo = 12,     // u64[nnz]: low key words, ascending
+  kAltoKeysHi = 13,     // u64[nnz]: high key words (key_bits > 64 only)
+  kAltoValues = 14,     // double[nnz]: values in key order
+  kAltoPerm = 15,       // nnz_t[nnz]: slot -> original ordinal
+  kAltoPartPtr = 16,    // nnz_t[parts + 1]: partition slot intervals
+  kAltoPartMin = 17,    // index_t[parts * order], row-major [part][mode]
+  kAltoPartMax = 18,    // index_t[parts * order], row-major [part][mode]
 };
 
 /// 64-byte on-disk header. Plain-old-data, written/read by memcpy.
@@ -217,7 +227,8 @@ class BundleReader {
 // ---- model-level API --------------------------------------------------------
 
 /// Serialize a model to `path` (atomic: written to a temp sibling and
-/// renamed into place). CSF sections are written only when m.csf is set.
+/// renamed into place). CSF sections are written only when m.csf is set,
+/// ALTO sections only when m.alto is set.
 void save_bundle(const core::TuckerModel& m, const std::string& path);
 
 /// Load a model bundle. kMap keeps every array as a view into the mapped

@@ -1,0 +1,179 @@
+// ALTO: adaptive linearized tensor order. One bit-interleaved key per
+// nonzero replaces the per-mode coordinate tuple — and, downstream, the
+// per-mode CSF forest — with a single mode-agnostic structure.
+//
+// Key encoding (the "adaptive" part): each mode n contributes exactly
+// ceil(log2(dim_n)) bits, sized from the actual shape rather than a fixed
+// field width, so no bit of the 64/128-bit key budget is wasted on
+// padding. Index bits are interleaved round-robin from the key's LSB
+// upward, visiting modes in increasing mode id within each round; a mode
+// drops out of the rotation once its bits are exhausted. Consequences:
+//   - low index bits of every mode share the low key bits, so ascending
+//     key order is a locality-preserving space-filling traversal — nearby
+//     nonzeros in key order are nearby in *every* mode's index space, not
+//     just the root mode's as in a CSF tree;
+//   - the longest modes' surplus high bits occupy the key's MSBs, so a
+//     contiguous slot range of the sorted array spans a narrow index range
+//     precisely in the modes where narrowness buys the most (small dense
+//     staging rows for the kAlto TTMc kernel's partition accumulators).
+// A shape whose summed bit-widths exceed 128 bits is rejected with
+// ht::InvalidArgument at build time — never silently truncated.
+//
+// Layout: nonzeros are sorted once by key (tensor/radix_sort, stable, ties
+// by ordinal), values are gathered into key order, and `perm` keeps the
+// slot -> original-ordinal map (the pattern-only gather map, mirroring
+// CSF's leaf_entry) so attach_values() can re-gather without rebuilding.
+// The sorted array is cut into nnz-balanced partitions of ~kAltoPartNnz
+// slots — the flattened form of ALTO's recursive halving of the
+// linearized space, which lands on equal-population key intervals — and
+// each partition records its per-mode [min, max] index range. Those ranges
+// are what let a TTMc thread accumulate a partition into a small dense
+// staging block and let the merge phase touch only the partitions whose
+// range covers a given output row (conflict-free, cheaply reduced).
+//
+// Per-mode delinearization is mask-based: the scatter of one mode's bits
+// across the key is precomputed as a handful of contiguous-run
+// (shift, mask) extractions — portable bit arithmetic, a few ops per mode
+// per nonzero, no BMI2 dependency. The runs are a pure function of the
+// shape, so a bundle stores only the key/value/partition arrays and
+// recomputes the masks at load time.
+//
+// Storage: every per-nonzero and per-partition array is held through
+// storage::Span — heap-owned when built from a CooTensor, or zero-copy
+// views into an mmap'd model bundle (storage/bundle.hpp). One AltoTensor
+// serves TTMc for every mode, which is the memory headline: ~24 B/nnz
+// (key + value + gather map) against the CSF forest's N trees at
+// >= 20 B/nnz each.
+//
+// Determinism: the key sort is stable with ordinal tie-break and the
+// partition boundaries depend only on nnz, so the whole structure — and
+// every kernel accumulation order derived from it — is a pure function of
+// the tensor, independent of thread count. Thread-safety: immutable after
+// build; any number of concurrent readers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "storage/span.hpp"
+#include "tensor/coo_tensor.hpp"
+#include "tensor/types.hpp"
+
+namespace ht::tensor {
+
+/// Target nonzeros per ALTO partition. Fixed (not thread-count-derived) so
+/// partition boundaries — and the kAlto kernel's reduction order over
+/// partitions — never depend on the machine.
+constexpr nnz_t kAltoPartNnz = 8192;
+
+/// One contiguous bit run of a mode's delinearization mask:
+/// index |= ((word >> key_shift) & mask) << index_shift, where word is
+/// key_lo (word 0) or key_hi (word 1). Encoding inverts the same run.
+struct AltoRun {
+  std::uint8_t word;         ///< 0 = key_lo, 1 = key_hi
+  std::uint8_t key_shift;    ///< bit offset of the run within the word
+  std::uint8_t index_shift;  ///< bit offset of the run within the index
+  std::uint64_t mask;        ///< (1 << run_length) - 1
+};
+
+struct AltoTensor {
+  Shape shape;
+
+  // ---- derived from the shape (recomputed on bundle load, never stored) --
+  /// Bits mode n contributes to the key: ceil(log2(dim_n)), 0 for dim 1.
+  std::vector<unsigned> mode_bits;
+  /// Total key bits = sum(mode_bits); <= 64 means key_hi is unused.
+  unsigned key_bits = 0;
+  /// Per-mode contiguous-run extraction masks (see AltoRun).
+  std::vector<std::vector<AltoRun>> mode_runs;
+
+  // ---- persistent arrays (what a bundle stores) --------------------------
+  /// Low 64 key bits of each nonzero, ascending (the sort order).
+  storage::Span<std::uint64_t> key_lo;
+  /// High key bits (key_bits > 64 only); empty otherwise.
+  storage::Span<std::uint64_t> key_hi;
+  /// Slot -> original nonzero ordinal (the pattern-only gather map).
+  storage::Span<nnz_t> perm;
+  /// Values gathered into key order; empty until attach_values() (or
+  /// build(), which gathers immediately).
+  storage::Span<double> values;
+  /// Partition slot intervals: partition p owns [part_ptr[p], part_ptr[p+1]).
+  /// Size num_partitions() + 1; empty for an empty tensor.
+  storage::Span<nnz_t> part_ptr;
+  /// Per-partition per-mode index ranges, row-major [partition][mode]:
+  /// every nonzero of partition p has part_min[p*order + n] <=
+  /// index(n) <= part_max[p*order + n].
+  storage::Span<index_t> part_min;
+  storage::Span<index_t> part_max;
+
+  [[nodiscard]] std::size_t order() const { return shape.size(); }
+  [[nodiscard]] nnz_t nnz() const { return key_lo.size(); }
+  [[nodiscard]] std::size_t num_partitions() const {
+    return part_ptr.empty() ? 0 : part_ptr.size() - 1;
+  }
+  [[nodiscard]] bool has_values() const {
+    return values.size() == key_lo.size() && !key_lo.empty();
+  }
+
+  /// Mode-n index of the nonzero in slot s (delinearize from the key).
+  [[nodiscard]] index_t mode_index(std::size_t mode, nnz_t s) const {
+    std::uint64_t idx = 0;
+    for (const AltoRun& r : mode_runs[mode]) {
+      const std::uint64_t w = r.word == 0 ? key_lo[s] : key_hi[s];
+      idx |= ((w >> r.key_shift) & r.mask) << r.index_shift;
+    }
+    return static_cast<index_t>(idx);
+  }
+
+  /// Mode-n index range of partition p (inclusive bounds).
+  [[nodiscard]] index_t partition_min(std::size_t p, std::size_t mode) const {
+    return part_min[p * order() + mode];
+  }
+  [[nodiscard]] index_t partition_max(std::size_t p, std::size_t mode) const {
+    return part_max[p * order() + mode];
+  }
+  /// nnz of partition p — the balance weight.
+  [[nodiscard]] nnz_t partition_nnz(std::size_t p) const {
+    return part_ptr[p + 1] - part_ptr[p];
+  }
+
+  /// Bytes of the persistent arrays (keys, gather map, values, partition
+  /// table) — the structure-memory number bench_ablation and
+  /// --inspect-model report against the CSF forest's format_bytes().
+  [[nodiscard]] std::size_t format_bytes() const;
+
+  /// Summed per-mode bit-widths of `shape`. Throws ht::InvalidArgument
+  /// when the total exceeds the 128-bit key budget (two 64-bit words).
+  static unsigned key_bits_for(const Shape& shape);
+
+  /// Non-throwing form of the budget check: can this shape be linearized?
+  static bool fits_key_budget(const Shape& shape) noexcept;
+
+  /// Build with values attached.
+  static AltoTensor build(const CooTensor& x);
+
+  /// Pattern-only variant (keys, perm, partitions; no values); call
+  /// attach_values() before handing the structure to a numeric kernel.
+  static AltoTensor build_pattern(const CooTensor& x);
+
+  /// Gather `x`'s values into key order through perm.
+  void attach_values(const CooTensor& x);
+
+  /// Reassemble from externally backed arrays (the bundle load path):
+  /// adopts the spans and recomputes mode_bits/key_bits/mode_runs from the
+  /// shape. Validates array lengths against each other.
+  static AltoTensor from_views(Shape shape, storage::Span<std::uint64_t> lo,
+                               storage::Span<std::uint64_t> hi,
+                               storage::Span<nnz_t> perm,
+                               storage::Span<double> values,
+                               storage::Span<nnz_t> part_ptr,
+                               storage::Span<index_t> part_min,
+                               storage::Span<index_t> part_max);
+
+ private:
+  /// Populate mode_bits/key_bits/mode_runs from shape.
+  void derive_encoding();
+};
+
+}  // namespace ht::tensor

@@ -99,6 +99,9 @@ struct CsfTree {
     return root_leaf_ptr[k + 1] - root_leaf_ptr[k];
   }
 
+  /// Bytes of this tree's node, pointer, gather, and value arrays.
+  [[nodiscard]] std::size_t format_bytes() const;
+
   /// Pattern-only build (no values). Requires order >= 2, root < order.
   static CsfTree build_pattern(const CooTensor& x, std::size_t root);
 
@@ -112,6 +115,11 @@ struct CsfTensor {
   std::vector<CsfTree> modes;
 
   [[nodiscard]] std::size_t order() const { return modes.size(); }
+
+  /// Bytes across all per-mode trees — the "N trees" side of the
+  /// one-structure-vs-N-trees memory comparison against
+  /// AltoTensor::format_bytes().
+  [[nodiscard]] std::size_t format_bytes() const;
 
   /// Build all per-mode trees with values attached (modes in parallel).
   static CsfTensor build(const CooTensor& x);

@@ -17,6 +17,7 @@
 #include "core/tucker_model.hpp"
 #include "la/matrix.hpp"
 #include "storage/bundle.hpp"
+#include "tensor/alto.hpp"
 #include "tensor/csf.hpp"
 #include "tensor/generators.hpp"
 #include "util/error.hpp"
@@ -24,6 +25,7 @@
 namespace {
 
 using ht::core::TuckerModel;
+using ht::tensor::AltoTensor;
 using ht::storage::BundleReader;
 using ht::storage::CopyStats;
 using ht::storage::LoadMode;
@@ -62,6 +64,7 @@ const TuckerModel& trained_model() {
     options.max_iterations = 4;
     TuckerModel m = TuckerModel::from_hooi(x, ht::core::hooi(x, options));
     m.csf = std::make_shared<CsfTensor>(CsfTensor::build(x));
+    m.alto = std::make_shared<AltoTensor>(AltoTensor::build(x));
     return m;
   }();
   return model;
@@ -97,6 +100,21 @@ void expect_models_bit_exact(const TuckerModel& a, const TuckerModel& b) {
   ASSERT_EQ(ca.size(), cb.size());
   EXPECT_EQ(std::memcmp(ca.data(), cb.data(), ca.size() * sizeof(double)), 0)
       << "core not bit-exact";
+
+  ASSERT_EQ(a.has_alto(), b.has_alto());
+  if (a.has_alto()) {
+    const AltoTensor& aa = *a.alto;
+    const AltoTensor& ab = *b.alto;
+    ASSERT_EQ(aa.nnz(), ab.nnz());
+    EXPECT_EQ(aa.key_bits, ab.key_bits);
+    EXPECT_TRUE(aa.key_lo == ab.key_lo);
+    EXPECT_TRUE(aa.key_hi == ab.key_hi);
+    EXPECT_TRUE(aa.perm == ab.perm);
+    EXPECT_TRUE(aa.values == ab.values);
+    EXPECT_TRUE(aa.part_ptr == ab.part_ptr);
+    EXPECT_TRUE(aa.part_min == ab.part_min);
+    EXPECT_TRUE(aa.part_max == ab.part_max);
+  }
 
   ASSERT_EQ(a.has_csf(), b.has_csf());
   if (!a.has_csf()) return;
@@ -143,6 +161,12 @@ TEST(BundleRoundTrip, MmapLoadIsBitExactAndZeroCopy) {
   EXPECT_TRUE(loaded.decomposition.factors[0].is_view());
   EXPECT_TRUE(loaded.decomposition.core.is_view());
   EXPECT_TRUE(loaded.csf->modes[0].idx[0].is_view());
+  // The ALTO arrays too: from_views only recomputes the O(order)
+  // delinearization masks, never the per-nnz payloads.
+  ASSERT_TRUE(loaded.has_alto());
+  EXPECT_TRUE(loaded.alto->key_lo.is_view());
+  EXPECT_TRUE(loaded.alto->perm.is_view());
+  EXPECT_TRUE(loaded.alto->values.is_view());
 
   expect_models_bit_exact(trained_model(), loaded);
 }
@@ -227,6 +251,64 @@ TEST(BundleRoundTrip, TtmcOverMappedCsfMatchesHeap) {
   }
 }
 
+TEST(BundleRoundTrip, AltoFromBundleMatchesFreshBuild) {
+  // The mapped structure must be indistinguishable from a scratch build:
+  // same keys, same gather map, same partition tables — so decoding and
+  // partition invariants established for the build path hold when serving.
+  TempFile tmp("alto.htb");
+  save_bundle(trained_model(), tmp.path());
+  const TuckerModel loaded = load_bundle(tmp.path(), LoadMode::kMap);
+  const AltoTensor fresh = AltoTensor::build(trained_tensor());
+
+  ASSERT_TRUE(loaded.has_alto());
+  const AltoTensor& mapped = *loaded.alto;
+  ASSERT_EQ(mapped.nnz(), fresh.nnz());
+  EXPECT_EQ(mapped.key_bits, fresh.key_bits);
+  EXPECT_TRUE(mapped.key_lo == fresh.key_lo);
+  EXPECT_TRUE(mapped.perm == fresh.perm);
+  EXPECT_TRUE(mapped.values == fresh.values);
+  EXPECT_TRUE(mapped.part_ptr == fresh.part_ptr);
+  EXPECT_TRUE(mapped.part_min == fresh.part_min);
+  EXPECT_TRUE(mapped.part_max == fresh.part_max);
+  // Delinearization masks are recomputed, not stored: decode must agree.
+  for (ht::tensor::nnz_t s = 0; s < fresh.nnz(); ++s) {
+    for (std::size_t n = 0; n < fresh.order(); ++n) {
+      ASSERT_EQ(mapped.mode_index(n, s), fresh.mode_index(n, s));
+    }
+  }
+}
+
+TEST(BundleRoundTrip, TtmcOverMappedAltoIsBitExactAndZeroCopy) {
+  // The serve headline: TTMc straight off the mapping, bit-identical to
+  // the heap-built structure, with zero payload bytes copied.
+  TempFile tmp("alto_ttmc.htb");
+  save_bundle(trained_model(), tmp.path());
+  const TuckerModel mapped = load_bundle(tmp.path(), LoadMode::kMap);
+  const CooTensor& x = trained_tensor();
+  const AltoTensor heap_alto = AltoTensor::build(x);
+
+  const auto symbolic = ht::core::SymbolicTtmc::build(x, false);
+  std::vector<ht::la::Matrix> factors;
+  for (std::size_t n = 0; n < x.order(); ++n) {
+    factors.push_back(mapped.decomposition.factors[n]);
+    factors.back().ensure_owned();
+  }
+  ht::core::TtmcOptions options;
+  options.kernel = ht::core::TtmcKernel::kAlto;
+  CopyStats::reset();
+  for (std::size_t n = 0; n < x.order(); ++n) {
+    ht::la::Matrix y_heap, y_map;
+    ht::core::ttmc_mode(x, factors, n, symbolic.modes[n], y_heap, options,
+                        nullptr, &heap_alto);
+    ht::core::ttmc_mode(x, factors, n, symbolic.modes[n], y_map, options,
+                        nullptr, mapped.alto.get());
+    ASSERT_EQ(y_heap.rows(), y_map.rows());
+    ASSERT_EQ(y_heap.cols(), y_map.cols());
+    EXPECT_TRUE(y_heap.approx_equal(y_map, 0.0)) << "mode " << n;
+  }
+  EXPECT_EQ(CopyStats::bytes(), 0u) << "serving detached a mapped span";
+}
+
 TEST(BundleRoundTrip, ModelWithoutCsfRoundTrips) {
   TuckerModel m = trained_model();
   m.csf.reset();
@@ -234,6 +316,16 @@ TEST(BundleRoundTrip, ModelWithoutCsfRoundTrips) {
   save_bundle(m, tmp.path());
   const TuckerModel loaded = load_bundle(tmp.path(), LoadMode::kMap);
   EXPECT_FALSE(loaded.has_csf());
+  expect_models_bit_exact(m, loaded);
+}
+
+TEST(BundleRoundTrip, ModelWithoutAltoRoundTrips) {
+  TuckerModel m = trained_model();
+  m.alto.reset();
+  TempFile tmp("noalto.htb");
+  save_bundle(m, tmp.path());
+  const TuckerModel loaded = load_bundle(tmp.path(), LoadMode::kMap);
+  EXPECT_FALSE(loaded.has_alto());
   expect_models_bit_exact(m, loaded);
 }
 

@@ -1,0 +1,236 @@
+// AltoTensor invariants: adaptive key sizing, encode/decode bijectivity
+// (including max-index boundaries and the two-word key path), key-sort
+// ordering and bitwise determinism across thread counts, partition balance
+// and per-mode index ranges, the 128-bit key-budget rejection, and
+// pattern/attach_values consistency.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <type_traits>
+#include <vector>
+
+#include "parallel/thread_info.hpp"
+#include "tensor/alto.hpp"
+#include "tensor/generators.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using ht::tensor::AltoTensor;
+using ht::tensor::CooTensor;
+using ht::tensor::index_t;
+using ht::tensor::nnz_t;
+using ht::tensor::Shape;
+
+std::vector<CooTensor> bijectivity_cases() {
+  std::vector<CooTensor> cases;
+  cases.push_back(ht::tensor::random_fibered(Shape{40, 30, 50}, 300, 6, 11));
+  cases.push_back(ht::tensor::random_uniform(Shape{40, 30, 50}, 800, 13));
+  cases.push_back(
+      ht::tensor::random_fibered(Shape{15, 12, 10, 40}, 250, 5, 17));
+  cases.push_back(
+      ht::tensor::random_fibered(Shape{8, 7, 6, 5, 20}, 150, 4, 23));
+  // Two-word keys: 3 x 23 bits = 69 > 64, so key_hi carries real bits.
+  cases.push_back(ht::tensor::random_uniform(
+      Shape{1u << 22, 1u << 22, 1u << 22}, 500, 29));
+  return cases;
+}
+
+void expect_bijective(const CooTensor& x, const AltoTensor& a) {
+  ASSERT_EQ(a.nnz(), x.nnz());
+  ASSERT_EQ(a.order(), x.order());
+  for (nnz_t s = 0; s < a.nnz(); ++s) {
+    const nnz_t e = a.perm[s];
+    for (std::size_t n = 0; n < x.order(); ++n) {
+      ASSERT_EQ(a.mode_index(n, s), x.index(n, e))
+          << "slot " << s << " mode " << n;
+    }
+    if (a.has_values()) {
+      ASSERT_EQ(a.values[s], x.value(e));
+    }
+  }
+}
+
+TEST(AltoTensorTest, KeyBitsAreSummedCeilLog2) {
+  EXPECT_EQ(AltoTensor::key_bits_for(Shape{40, 30, 50}), 6u + 5u + 6u);
+  // dim 1 needs zero bits; exact powers of two need exactly log2 bits.
+  EXPECT_EQ(AltoTensor::key_bits_for(Shape{1, 8, 9}), 0u + 3u + 4u);
+  // Exactly 128 bits is accepted (two full words), 129 is not.
+  const Shape at_budget(4, index_t{0xFFFFFFFFu});  // 4 x 32 bits
+  EXPECT_EQ(AltoTensor::key_bits_for(at_budget), 128u);
+  EXPECT_TRUE(AltoTensor::fits_key_budget(at_budget));
+}
+
+TEST(AltoTensorTest, OverBudgetShapeIsRejected) {
+  const Shape too_wide(5, index_t{1u << 30});  // 5 x 30 = 150 bits
+  EXPECT_FALSE(AltoTensor::fits_key_budget(too_wide));
+  try {
+    (void)AltoTensor::key_bits_for(too_wide);
+    FAIL() << "expected ht::InvalidArgument";
+  } catch (const ht::InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("128-bit key budget"),
+              std::string::npos)
+        << e.what();
+  }
+  // The build paths go through the same throwing check.
+  CooTensor x(too_wide);
+  const std::vector<index_t> idx(5, 0);
+  x.push_back(idx, 1.0);
+  EXPECT_THROW((void)AltoTensor::build(x), ht::InvalidArgument);
+  EXPECT_THROW((void)AltoTensor::build_pattern(x), ht::InvalidArgument);
+}
+
+TEST(AltoTensorTest, EncodeDecodeIsBijective) {
+  for (const auto& x : bijectivity_cases()) {
+    const AltoTensor a = AltoTensor::build(x);
+    EXPECT_EQ(a.key_bits, AltoTensor::key_bits_for(x.shape()));
+    EXPECT_EQ(a.key_hi.empty(), a.key_bits <= 64);
+    expect_bijective(x, a);
+  }
+}
+
+TEST(AltoTensorTest, MaxIndexBoundariesRoundTrip) {
+  // Non-power-of-two dims with coordinates at every extreme corner: the
+  // top bit pattern of each mode must survive interleaving untouched.
+  const Shape shape{5, 6, 7, 3};
+  CooTensor x(shape);
+  for (unsigned corner = 0; corner < 16; ++corner) {
+    std::vector<index_t> idx(4);
+    for (std::size_t n = 0; n < 4; ++n) {
+      idx[n] = (corner >> n) & 1u ? shape[n] - 1 : 0;
+    }
+    x.push_back(idx, static_cast<double>(corner + 1));
+  }
+  expect_bijective(x, AltoTensor::build(x));
+
+  // Same at the index_t ceiling on a two-mode, 64-bit-key shape.
+  const Shape wide{0xFFFFFFFFu, 0xFFFFFFFFu};
+  CooTensor w(wide);
+  w.push_back(std::vector<index_t>{0xFFFFFFFEu, 0xFFFFFFFEu}, 1.0);
+  w.push_back(std::vector<index_t>{0, 0xFFFFFFFEu}, 2.0);
+  w.push_back(std::vector<index_t>{0xFFFFFFFEu, 0}, 3.0);
+  expect_bijective(w, AltoTensor::build(w));
+}
+
+TEST(AltoTensorTest, KeysSortedAscendingWithStableTieBreak) {
+  for (const auto& x : bijectivity_cases()) {
+    const AltoTensor a = AltoTensor::build(x);
+    for (nnz_t s = 1; s < a.nnz(); ++s) {
+      const std::uint64_t hi_prev = a.key_hi.empty() ? 0 : a.key_hi[s - 1];
+      const std::uint64_t hi = a.key_hi.empty() ? 0 : a.key_hi[s];
+      ASSERT_TRUE(hi_prev < hi ||
+                  (hi_prev == hi && a.key_lo[s - 1] < a.key_lo[s]) ||
+                  (hi_prev == hi && a.key_lo[s - 1] == a.key_lo[s] &&
+                   a.perm[s - 1] < a.perm[s]))
+          << "slot " << s;
+    }
+  }
+}
+
+TEST(AltoTensorTest, PartitionsAreBalancedWithTightRanges) {
+  const CooTensor x =
+      ht::tensor::random_uniform(Shape{60, 50, 40}, 30000, 31);
+  const AltoTensor a = AltoTensor::build(x);
+  const std::size_t parts = a.num_partitions();
+  ASSERT_EQ(parts, (x.nnz() + ht::tensor::kAltoPartNnz - 1) /
+                       ht::tensor::kAltoPartNnz);
+  ASSERT_EQ(a.part_ptr[0], 0u);
+  ASSERT_EQ(a.part_ptr[parts], x.nnz());
+  nnz_t mn = x.nnz(), mx = 0;
+  for (std::size_t p = 0; p < parts; ++p) {
+    mn = std::min(mn, a.partition_nnz(p));
+    mx = std::max(mx, a.partition_nnz(p));
+    for (std::size_t n = 0; n < x.order(); ++n) {
+      index_t lo = x.dim(n), hi = 0;
+      for (nnz_t s = a.part_ptr[p]; s < a.part_ptr[p + 1]; ++s) {
+        lo = std::min(lo, a.mode_index(n, s));
+        hi = std::max(hi, a.mode_index(n, s));
+      }
+      EXPECT_EQ(a.partition_min(p, n), lo) << "partition " << p;
+      EXPECT_EQ(a.partition_max(p, n), hi) << "partition " << p;
+    }
+  }
+  EXPECT_LE(mx - mn, 1u) << "nnz balance";
+  EXPECT_LE(mx, ht::tensor::kAltoPartNnz);
+}
+
+TEST(AltoTensorTest, BuildIsBitwiseDeterministicAcrossThreadCounts) {
+  // Covers the parallel encode, the parallel counting-sort passes, and the
+  // parallel partition scans: chunked histograms merge in chunk order, so
+  // the structure must match the single-thread build exactly.
+  const CooTensor x =
+      ht::tensor::random_uniform(Shape{80, 70, 60, 20}, 70000, 37);
+  AltoTensor a1, a4;
+  {
+    ht::parallel::ThreadScope threads(1);
+    a1 = AltoTensor::build(x);
+  }
+  {
+    ht::parallel::ThreadScope threads(4);
+    a4 = AltoTensor::build(x);
+  }
+  ASSERT_EQ(a1.nnz(), a4.nnz());
+  for (nnz_t s = 0; s < a1.nnz(); ++s) {
+    ASSERT_EQ(a1.key_lo[s], a4.key_lo[s]);
+    ASSERT_EQ(a1.perm[s], a4.perm[s]);
+    ASSERT_EQ(a1.values[s], a4.values[s]);
+  }
+  ASSERT_EQ(a1.num_partitions(), a4.num_partitions());
+  for (std::size_t p = 0; p < a1.num_partitions(); ++p) {
+    ASSERT_EQ(a1.part_ptr[p + 1], a4.part_ptr[p + 1]);
+    for (std::size_t n = 0; n < a1.order(); ++n) {
+      ASSERT_EQ(a1.partition_min(p, n), a4.partition_min(p, n));
+      ASSERT_EQ(a1.partition_max(p, n), a4.partition_max(p, n));
+    }
+  }
+}
+
+TEST(AltoTensorTest, PatternThenAttachMatchesBuild) {
+  const CooTensor x = ht::tensor::random_fibered(Shape{20, 25, 30}, 120, 5, 7);
+  const AltoTensor full = AltoTensor::build(x);
+  AltoTensor pattern = AltoTensor::build_pattern(x);
+  EXPECT_FALSE(pattern.has_values());
+  pattern.attach_values(x);
+  ASSERT_TRUE(pattern.has_values());
+  for (nnz_t s = 0; s < full.nnz(); ++s) {
+    ASSERT_EQ(pattern.values[s], full.values[s]);
+    ASSERT_EQ(pattern.perm[s], full.perm[s]);
+  }
+}
+
+TEST(AltoTensorTest, FormatBytesCountsPersistentArrays) {
+  const CooTensor x = ht::tensor::random_uniform(Shape{40, 30, 50}, 800, 13);
+  const AltoTensor a = AltoTensor::build(x);
+  const std::size_t expected =
+      a.key_lo.size() * 8 + a.key_hi.size() * 8 + a.perm.size() * 8 +
+      a.values.size() * 8 + a.part_ptr.size() * 8 +
+      (a.part_min.size() + a.part_max.size()) * sizeof(index_t);
+  EXPECT_EQ(a.format_bytes(), expected);
+  // ~24 B/nnz headline for a one-word key with values attached.
+  EXPECT_LT(a.format_bytes(), 25.0 * static_cast<double>(a.nnz()));
+}
+
+TEST(AltoTensorTest, FromViewsValidatesArrayLengths) {
+  const CooTensor x = ht::tensor::random_uniform(Shape{40, 30, 50}, 800, 13);
+  const AltoTensor a = AltoTensor::build(x);
+  auto copy = [](const auto& span) {
+    return std::decay_t<decltype(span)>(
+        std::vector(span.begin(), span.end()));
+  };
+  // Faithful reassembly round-trips.
+  const AltoTensor b = AltoTensor::from_views(
+      x.shape(), copy(a.key_lo), {}, copy(a.perm), copy(a.values),
+      copy(a.part_ptr), copy(a.part_min), copy(a.part_max));
+  expect_bijective(x, b);
+  // Truncated gather map is rejected.
+  std::vector<nnz_t> short_perm(a.perm.begin(), a.perm.end() - 1);
+  EXPECT_THROW((void)AltoTensor::from_views(
+                   x.shape(), copy(a.key_lo), {},
+                   ht::storage::Span<nnz_t>(std::move(short_perm)),
+                   copy(a.values), copy(a.part_ptr), copy(a.part_min),
+                   copy(a.part_max)),
+               ht::Error);
+}
+
+}  // namespace
