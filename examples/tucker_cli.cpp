@@ -9,6 +9,10 @@
 //                [--trsvd-method lanczos|gram|block|rand|auto]
 //                [--trsvd-block B] [--trsvd-oversample P] [--trsvd-power Q]
 //                [--export PREFIX] [--sweep] [--save-model FILE.htb]
+//   ./tucker_cli INPUT.tns R1,R2,... --completion [--holdout FRAC]
+//                [--val FRAC] [--lambda L] [--anneal FACTOR SWEEPS]
+//                [--sweeps N] [--cg N] [--seed S] [--threads P]
+//                [--save-model FILE.htb]
 //   ./tucker_cli --load-model FILE.htb [--copy]
 //   ./tucker_cli --inspect-model FILE.htb [--verify]
 //   ./tucker_cli --query TARGET "SCORE 3 17 5" ["TOPK 3 10" ...]
@@ -27,7 +31,16 @@
 // --query is a tuckerd client: TARGET is a unix socket path (contains '/')
 // or host:port; each remaining argument is sent as one protocol line and
 // the response is printed. Exits non-zero if any response is an ERR.
+//
+// --completion switches the solver from HOOI (compression objective: every
+// tensor position, zeros included) to masked completion (prediction
+// objective: observed entries only). --holdout splits off a seeded test
+// fraction whose RMSE/MAE is reported after training and stamped into the
+// saved bundle's provenance; --val adds a validation fraction that steers
+// early stopping.
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
@@ -35,8 +48,10 @@
 #include <string>
 #include <vector>
 
+#include "core/completion.hpp"
 #include "core/hooi.hpp"
 #include "core/rank_sweep.hpp"
+#include "core/split.hpp"
 #include "core/tucker_model.hpp"
 #include "serve/net.hpp"
 #include "serve/protocol.hpp"
@@ -87,6 +102,10 @@ int usage() {
                " [--trsvd-method lanczos|gram|block|rand|auto]"
                " [--trsvd-block B] [--trsvd-oversample P] [--trsvd-power Q]"
                " [--export PREFIX] [--sweep] [--save-model FILE.htb]\n"
+               "       tucker_cli INPUT.tns R1,R2,... --completion"
+               " [--holdout FRAC] [--val FRAC] [--lambda L]"
+               " [--anneal FACTOR SWEEPS] [--sweeps N] [--cg N] [--seed S]"
+               " [--threads P] [--save-model FILE.htb]\n"
                "       tucker_cli --load-model FILE.htb [--copy]\n"
                "       tucker_cli --inspect-model FILE.htb [--verify]\n"
                "       tucker_cli --query TARGET LINE [LINE...]\n"
@@ -192,6 +211,73 @@ int run_inspect_model(const std::string& path, bool verify) {
   return 0;
 }
 
+// Masked-completion mode: deterministic holdout split, tucker_complete on
+// the training part, held-out RMSE/MAE report, and (with --save-model) a
+// serveable bundle whose provenance records the split alongside the
+// completion.* keys the trainer stamps.
+int run_completion(const ht::tensor::CooTensor& x,
+                   ht::core::CompletionOptions options,
+                   double holdout_fraction, double validation_fraction,
+                   const std::string& save_model_path) {
+  using namespace ht;
+  core::SplitOptions split_options;
+  split_options.test_fraction = holdout_fraction;
+  split_options.validation_fraction = validation_fraction;
+  split_options.seed = options.seed;
+  const auto split = core::split_tensor(x, split_options);
+  std::printf("split (seed %llu): train %llu / validation %llu / test %llu\n",
+              static_cast<unsigned long long>(split_options.seed),
+              static_cast<unsigned long long>(split.train.nnz()),
+              static_cast<unsigned long long>(split.validation.nnz()),
+              static_cast<unsigned long long>(split.test.nnz()));
+
+  auto result = core::tucker_complete(
+      split.train, split.validation.nnz() ? &split.validation : nullptr,
+      options);
+  std::printf("completion: %d sweeps (converged=%s, early_stopped=%s),"
+              " train RMSE %.6f\n",
+              result.sweeps, result.converged ? "yes" : "no",
+              result.early_stopped ? "yes" : "no",
+              result.final_train_rmse());
+  if (result.best_sweep >= 0) {
+    std::printf("best validation sweep %d: RMSE %.6f\n", result.best_sweep,
+                result.validation_rmse[static_cast<std::size_t>(
+                    result.best_sweep)]);
+  }
+  std::printf("timers: symbolic %.3fs factor %.3fs core %.3fs eval %.3fs\n",
+              result.timers.symbolic, result.timers.factor,
+              result.timers.core, result.timers.eval);
+
+  std::optional<core::CompletionEval> holdout;
+  if (split.test.nnz()) {
+    holdout = core::evaluate_model(split.test, result.decomposition);
+    std::printf("held-out RMSE %.6f MAE %.6f over %llu entries\n",
+                holdout->rmse, holdout->mae,
+                static_cast<unsigned long long>(holdout->count));
+  }
+
+  if (!save_model_path.empty()) {
+    auto model = core::completion_model(split.train, std::move(result),
+                                        options);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", holdout_fraction);
+    model.provenance.emplace_back("completion.holdout_fraction", buf);
+    std::snprintf(buf, sizeof buf, "%.17g", validation_fraction);
+    model.provenance.emplace_back("completion.validation_fraction", buf);
+    model.provenance.emplace_back("completion.split_seed",
+                                  std::to_string(split_options.seed));
+    if (holdout) {
+      std::snprintf(buf, sizeof buf, "%.17g", holdout->rmse);
+      model.provenance.emplace_back("completion.holdout_rmse", buf);
+      std::snprintf(buf, sizeof buf, "%.17g", holdout->mae);
+      model.provenance.emplace_back("completion.holdout_mae", buf);
+    }
+    ht::storage::save_bundle(model, save_model_path);
+    std::printf("saved completion model to %s\n", save_model_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -224,6 +310,10 @@ int main(int argc, char** argv) {
   std::string export_prefix;
   std::string save_model_path;
   bool sweep = false;
+  bool completion = false;
+  double holdout_fraction = 0.1;
+  double validation_fraction = 0.0;
+  ht::core::CompletionOptions completion_options;
 
   for (int a = 3; a < argc; ++a) {
     const std::string arg = argv[a];
@@ -294,6 +384,24 @@ int main(int argc, char** argv) {
       save_model_path = next();
     } else if (arg == "--sweep") {
       sweep = true;
+    } else if (arg == "--completion") {
+      completion = true;
+    } else if (arg == "--holdout") {
+      holdout_fraction = std::atof(next());
+    } else if (arg == "--val") {
+      validation_fraction = std::atof(next());
+    } else if (arg == "--lambda") {
+      completion_options.lambda = std::atof(next());
+    } else if (arg == "--anneal") {
+      completion_options.lambda_anneal_factor = std::atof(next());
+      completion_options.lambda_anneal_sweeps = std::atoi(next());
+    } else if (arg == "--sweeps") {
+      completion_options.max_sweeps = std::atoi(next());
+    } else if (arg == "--cg") {
+      completion_options.core_cg_iterations = std::atoi(next());
+    } else if (arg == "--seed") {
+      completion_options.seed =
+          static_cast<std::uint64_t>(std::strtoull(next(), nullptr, 10));
     } else {
       return usage();
     }
@@ -315,6 +423,13 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (completion) {
+      completion_options.ranks = max_ranks;
+      completion_options.num_threads = options.num_threads;
+      return run_completion(x, std::move(completion_options),
+                            holdout_fraction, validation_fraction,
+                            save_model_path);
+    }
     if (sweep) {
       // Ladder of candidates up to the requested maximum, shared symbolic.
       std::vector<std::vector<ht::tensor::index_t>> candidates;

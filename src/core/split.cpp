@@ -1,0 +1,58 @@
+#include "core/split.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace ht::core {
+
+TensorSplit split_tensor(const CooTensor& x, const SplitOptions& options) {
+  if (options.validation_fraction < 0.0 || options.validation_fraction >= 1.0 ||
+      options.test_fraction < 0.0 || options.test_fraction >= 1.0) {
+    throw InvalidArgument("split fractions must lie in [0, 1)");
+  }
+  if (options.validation_fraction + options.test_fraction >= 1.0) {
+    throw InvalidArgument("validation + test fractions must leave room for "
+                          "training data");
+  }
+  const nnz_t n = x.nnz();
+  const auto part_size = [n](double frac) {
+    return static_cast<nnz_t>(std::llround(frac * static_cast<double>(n)));
+  };
+  const nnz_t n_test = part_size(options.test_fraction);
+  const nnz_t n_val = part_size(options.validation_fraction);
+  if (n_test + n_val >= n) {
+    throw InvalidArgument("split leaves no training nonzeros");
+  }
+
+  // Seeded Fisher-Yates over the ordinals; the prefix becomes the held-out
+  // parts. Test before validation so the test set is invariant under
+  // changes to validation_fraction (the same holdout scores models trained
+  // with and without early stopping).
+  std::vector<nnz_t> perm(n);
+  std::iota(perm.begin(), perm.end(), nnz_t{0});
+  Rng rng(options.seed ^ 0x5b117c0a1e5ce7ULL);
+  for (nnz_t i = n; i-- > 1;) {
+    const nnz_t j = rng.below(i + 1);
+    std::swap(perm[i], perm[j]);
+  }
+
+  TensorSplit split;
+  split.test_ids.assign(perm.begin(), perm.begin() + n_test);
+  split.validation_ids.assign(perm.begin() + n_test,
+                              perm.begin() + n_test + n_val);
+  split.train_ids.assign(perm.begin() + n_test + n_val, perm.end());
+  std::sort(split.test_ids.begin(), split.test_ids.end());
+  std::sort(split.validation_ids.begin(), split.validation_ids.end());
+  std::sort(split.train_ids.begin(), split.train_ids.end());
+
+  split.train = x.select(split.train_ids);
+  split.validation = x.select(split.validation_ids);
+  split.test = x.select(split.test_ids);
+  return split;
+}
+
+}  // namespace ht::core

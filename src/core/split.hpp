@@ -1,0 +1,56 @@
+// Deterministic seeded train/validation/test splitting of a sparse tensor.
+//
+// Completion training (core/completion.hpp) needs held-out nonzeros that
+// the model never sees: a validation set steering early stopping and a test
+// set scoring the final model. The split is a seeded Fisher-Yates shuffle
+// of the nonzero ordinals followed by a prefix cut, so it
+//   - is a function of (nnz, fractions, seed) only — bit-identical across
+//     runs, platforms, and thread counts;
+//   - partitions the nonzeros exactly (every ordinal lands in exactly one
+//     part, none are lost or duplicated);
+//   - hits the requested fractions to within rounding (the part sizes are
+//     llround(frac * nnz), not per-entry coin flips with binomial spread).
+//
+// The ordinal lists are returned sorted ascending, so each part preserves
+// the source tensor's nonzero order (CooTensor::select keeps the order it
+// is given) — predictions and evaluation sums are then reproducible
+// regardless of how the shuffle scattered the ordinals.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/coo_tensor.hpp"
+
+namespace ht::core {
+
+using tensor::CooTensor;
+using tensor::nnz_t;
+
+struct SplitOptions {
+  /// Fraction of nonzeros held out for early stopping (0 = no validation
+  /// part; completion then stops on the training objective alone).
+  double validation_fraction = 0.0;
+  /// Fraction of nonzeros held out for final scoring.
+  double test_fraction = 0.1;
+  std::uint64_t seed = 42;
+};
+
+struct TensorSplit {
+  CooTensor train;
+  CooTensor validation;  // empty tensor when validation_fraction == 0
+  CooTensor test;        // empty tensor when test_fraction == 0
+
+  /// Ordinals into the source tensor, each sorted ascending; together a
+  /// partition of [0, nnz).
+  std::vector<nnz_t> train_ids;
+  std::vector<nnz_t> validation_ids;
+  std::vector<nnz_t> test_ids;
+};
+
+/// Split the nonzeros of `x` into train / validation / test parts. Throws
+/// ht::InvalidArgument when a fraction is outside [0, 1), the fractions sum
+/// to >= 1, or the training part would come out empty.
+TensorSplit split_tensor(const CooTensor& x, const SplitOptions& options);
+
+}  // namespace ht::core

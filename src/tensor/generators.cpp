@@ -246,6 +246,74 @@ void plant_low_rank_values(CooTensor& x, std::size_t cp_rank,
   }
 }
 
+LowRankTensor random_low_rank(const Shape& shape, nnz_t target_nnz,
+                              const Shape& ranks, double relative_noise,
+                              std::uint64_t seed) {
+  HT_CHECK_MSG(ranks.size() == shape.size(), "need one rank per mode");
+  for (std::size_t n = 0; n < shape.size(); ++n) {
+    HT_CHECK_MSG(ranks[n] >= 1 && ranks[n] <= shape[n],
+                 "planted rank out of range");
+  }
+  HT_CHECK_MSG(relative_noise >= 0.0, "relative_noise must be non-negative");
+
+  // Uniform coordinates: completion recoverability needs every row of every
+  // mode observed with roughly equal probability (a Zipf mask leaves cold
+  // rows under-determined, which is a property of the mask, not the solver).
+  const std::vector<double> theta(shape.size(), 0.0);
+  LowRankTensor out;
+  out.tensor = generate_coordinates(shape, target_nnz, theta, seed);
+
+  // Gaussian core and factor entries give a generic (well-conditioned)
+  // Tucker model with no structure beyond its rank.
+  Rng rng(seed ^ 0x70c4e2d1a5f0b37bULL);
+  std::vector<la::Matrix> factors;
+  factors.reserve(shape.size());
+  for (std::size_t n = 0; n < shape.size(); ++n) {
+    la::Matrix f(shape[n], ranks[n]);
+    for (auto& v : f.flat()) v = rng.normal();
+    factors.push_back(std::move(f));
+  }
+  std::size_t core_len = 1;
+  for (const index_t r : ranks) core_len *= r;
+  std::vector<double> core(core_len);
+  for (auto& v : core) v = rng.normal();
+
+  // Evaluate the model at every observed coordinate (flat core walk with
+  // digit decoding — generator-side code, clarity over speed).
+  const nnz_t nnz = out.tensor.nnz();
+  out.clean.resize(nnz);
+  double sum_sq = 0.0;
+  for (nnz_t t = 0; t < nnz; ++t) {
+    double v = 0.0;
+    for (std::size_t c = 0; c < core_len; ++c) {
+      double prod = core[c];
+      std::size_t rem = c;
+      for (std::size_t n = shape.size(); n-- > 0;) {
+        const std::size_t r = rem % ranks[n];
+        rem /= ranks[n];
+        prod *= factors[n](out.tensor.index(n, t), r);
+      }
+      v += prod;
+    }
+    out.clean[t] = v;
+    sum_sq += v * v;
+  }
+
+  // Normalize the clean signal to unit RMS over the observed entries, so
+  // the additive noise sigma IS the relative noise level and the held-out
+  // noise floor is exactly `relative_noise`.
+  const double rms = std::sqrt(sum_sq / std::max<nnz_t>(nnz, 1));
+  HT_CHECK_MSG(rms > 0.0, "planted signal degenerated to zero");
+  const double inv_rms = 1.0 / rms;
+  out.noise_sigma = relative_noise;
+  auto values = out.tensor.values();
+  for (nnz_t t = 0; t < nnz; ++t) {
+    out.clean[t] *= inv_rms;
+    values[t] = out.clean[t] + relative_noise * rng.normal();
+  }
+  return out;
+}
+
 PresetSpec paper_preset(const std::string& name, double scale) {
   HT_CHECK_MSG(scale > 0, "scale must be positive");
 

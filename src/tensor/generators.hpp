@@ -51,6 +51,27 @@ CooTensor random_fibered(const Shape& shape, nnz_t num_fibers,
 void plant_low_rank_values(CooTensor& x, std::size_t cp_rank,
                            double noise_level, std::uint64_t seed);
 
+/// A planted-Tucker tensor with a known noise floor, for completion tests:
+/// the observed values are clean + noise where `clean` is an exact
+/// rank-`ranks` Tucker model (Gaussian core and factors) normalized to unit
+/// RMS over the observed entries, and the noise is i.i.d. Gaussian with
+/// standard deviation `noise_sigma == relative_noise`. A completion model
+/// that recovers the planted signal therefore has held-out RMSE approaching
+/// `noise_sigma` — the floor tests pin against.
+struct LowRankTensor {
+  CooTensor tensor;             // observed entries: clean[t] + noise
+  std::vector<value_t> clean;   // noiseless planted value per nonzero
+  double noise_sigma = 0.0;     // exact std-dev of the added noise
+};
+
+/// Uniform-coordinate sparse sample of a planted rank-`ranks` Tucker model
+/// plus Gaussian noise. `ranks` must have one entry per mode, each within
+/// the mode size. Deterministic in (shape, target_nnz, ranks,
+/// relative_noise, seed).
+LowRankTensor random_low_rank(const Shape& shape, nnz_t target_nnz,
+                              const Shape& ranks, double relative_noise,
+                              std::uint64_t seed);
+
 /// One paper dataset preset (Table I), scaled down for laptop execution.
 struct PresetSpec {
   std::string name;

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/completion.hpp"
+#include "core/split.hpp"
+#include "serve/query_engine.hpp"
+#include "serve/serve_model.hpp"
+#include "storage/bundle.hpp"
+#include "tensor/generators.hpp"
+
+namespace {
+
+using ht::core::CompletionEval;
+using ht::core::CompletionOptions;
+using ht::core::SplitOptions;
+using ht::core::TensorSplit;
+using ht::tensor::CooTensor;
+using ht::tensor::index_t;
+using ht::tensor::nnz_t;
+using ht::tensor::Shape;
+
+CooTensor sample_tensor(std::uint64_t seed, nnz_t nnz = 2000) {
+  CooTensor x = ht::tensor::random_uniform(Shape{30, 25, 20}, nnz, seed);
+  ht::tensor::plant_low_rank_values(x, 3, 0.1, seed ^ 0x51);
+  return x;
+}
+
+SplitOptions fractions(double val, double test, std::uint64_t seed = 42) {
+  SplitOptions opt;
+  opt.validation_fraction = val;
+  opt.test_fraction = test;
+  opt.seed = seed;
+  return opt;
+}
+
+TEST(SplitTest, DeterministicForSeed) {
+  const CooTensor x = sample_tensor(50);
+  const TensorSplit a = ht::core::split_tensor(x, fractions(0.1, 0.2, 7));
+  const TensorSplit b = ht::core::split_tensor(x, fractions(0.1, 0.2, 7));
+  EXPECT_EQ(a.train_ids, b.train_ids);
+  EXPECT_EQ(a.validation_ids, b.validation_ids);
+  EXPECT_EQ(a.test_ids, b.test_ids);
+
+  const TensorSplit c = ht::core::split_tensor(x, fractions(0.1, 0.2, 8));
+  EXPECT_NE(a.test_ids, c.test_ids);  // a different seed reshuffles
+}
+
+TEST(SplitTest, ExactPartitionOfOrdinals) {
+  const CooTensor x = sample_tensor(51);
+  const TensorSplit s = ht::core::split_tensor(x, fractions(0.15, 0.25, 9));
+
+  std::vector<nnz_t> all;
+  all.insert(all.end(), s.train_ids.begin(), s.train_ids.end());
+  all.insert(all.end(), s.validation_ids.begin(), s.validation_ids.end());
+  all.insert(all.end(), s.test_ids.begin(), s.test_ids.end());
+  ASSERT_EQ(all.size(), x.nnz());
+  std::sort(all.begin(), all.end());
+  for (nnz_t t = 0; t < x.nnz(); ++t) {
+    ASSERT_EQ(all[t], t);  // every ordinal exactly once
+  }
+
+  // Each id list is sorted ascending and the part tensors mirror them.
+  EXPECT_TRUE(std::is_sorted(s.train_ids.begin(), s.train_ids.end()));
+  EXPECT_TRUE(std::is_sorted(s.validation_ids.begin(),
+                             s.validation_ids.end()));
+  EXPECT_TRUE(std::is_sorted(s.test_ids.begin(), s.test_ids.end()));
+  ASSERT_EQ(s.train.nnz(), s.train_ids.size());
+  ASSERT_EQ(s.validation.nnz(), s.validation_ids.size());
+  ASSERT_EQ(s.test.nnz(), s.test_ids.size());
+  for (nnz_t t = 0; t < s.test.nnz(); ++t) {
+    EXPECT_EQ(s.test.value(t), x.value(s.test_ids[t]));
+    for (std::size_t n = 0; n < x.order(); ++n) {
+      EXPECT_EQ(s.test.index(n, t), x.index(n, s.test_ids[t]));
+    }
+  }
+}
+
+TEST(SplitTest, FractionsWithinRounding) {
+  const CooTensor x = sample_tensor(52, 1777);
+  const TensorSplit s = ht::core::split_tensor(x, fractions(0.13, 0.21, 10));
+  const double n = static_cast<double>(x.nnz());
+  EXPECT_EQ(s.test_ids.size(),
+            static_cast<std::size_t>(std::llround(0.21 * n)));
+  EXPECT_EQ(s.validation_ids.size(),
+            static_cast<std::size_t>(std::llround(0.13 * n)));
+  EXPECT_EQ(s.train_ids.size(),
+            x.nnz() - s.test_ids.size() - s.validation_ids.size());
+}
+
+TEST(SplitTest, TestSetInvariantUnderValidationFraction) {
+  // Test ids are cut from the permutation prefix BEFORE validation, so the
+  // same holdout scores models trained with and without early stopping.
+  const CooTensor x = sample_tensor(53);
+  const TensorSplit a = ht::core::split_tensor(x, fractions(0.0, 0.2, 11));
+  const TensorSplit b = ht::core::split_tensor(x, fractions(0.25, 0.2, 11));
+  EXPECT_EQ(a.test_ids, b.test_ids);
+}
+
+TEST(SplitTest, ZeroFractionsGiveEmptyParts) {
+  const CooTensor x = sample_tensor(54, 500);
+  const TensorSplit s = ht::core::split_tensor(x, fractions(0.0, 0.0, 12));
+  EXPECT_EQ(s.validation.nnz(), 0u);
+  EXPECT_EQ(s.test.nnz(), 0u);
+  EXPECT_EQ(s.train.nnz(), x.nnz());
+}
+
+TEST(SplitTest, RejectsBadFractions) {
+  const CooTensor x = sample_tensor(55, 300);
+  EXPECT_THROW(ht::core::split_tensor(x, fractions(-0.1, 0.1)),
+               ht::InvalidArgument);
+  EXPECT_THROW(ht::core::split_tensor(x, fractions(0.1, 1.0)),
+               ht::InvalidArgument);
+  EXPECT_THROW(ht::core::split_tensor(x, fractions(0.6, 0.5)),
+               ht::InvalidArgument);
+}
+
+// Serve-path equivalence: a completion model evaluated on the held-out set
+// through the FULL serving stack (bundle save -> ServeModel::load ->
+// QueryEngine::score_batch -> evaluate_predictions) must reproduce the
+// train-side evaluate_model RMSE to 0 ULP. The reconstruct kernels fix the
+// summation order, so the predictions are bit-identical end to end.
+TEST(SplitServeTest, ServePathRmseMatchesTrainSideToZeroUlp) {
+  const ht::tensor::LowRankTensor planted = ht::tensor::random_low_rank(
+      Shape{40, 30, 20}, 3000, Shape{3, 3, 3}, 0.1, 56);
+  const TensorSplit split =
+      ht::core::split_tensor(planted.tensor, fractions(0.0, 0.2, 13));
+
+  CompletionOptions opt;
+  opt.ranks = {3, 3, 3};
+  opt.max_sweeps = 8;
+  opt.lambda = 0.05;
+  ht::core::CompletionResult r = ht::core::tucker_complete(split.train, opt);
+  const CompletionEval train_side =
+      ht::core::evaluate_model(split.test, r.decomposition);
+
+  const ht::core::TuckerModel m =
+      ht::core::completion_model(split.train, std::move(r), opt);
+  const std::string path =
+      ::testing::TempDir() + "/split_serve_roundtrip.htb";
+  ht::storage::save_bundle(m, path);
+
+  auto served = ht::serve::ServeModel::load(path);
+  ht::serve::QueryOptions qopt;
+  ht::serve::QueryEngine engine(served, qopt);
+
+  std::vector<std::vector<index_t>> queries(split.test.nnz());
+  for (nnz_t t = 0; t < split.test.nnz(); ++t) {
+    queries[t].resize(split.test.order());
+    for (std::size_t n = 0; n < split.test.order(); ++n) {
+      queries[t][n] = split.test.index(n, t);
+    }
+  }
+  const std::vector<double> preds = engine.score_batch(queries);
+  const CompletionEval serve_side =
+      ht::core::evaluate_predictions(split.test, preds);
+
+  EXPECT_EQ(serve_side.rmse, train_side.rmse);  // 0 ULP
+  EXPECT_EQ(serve_side.mae, train_side.mae);
+  EXPECT_EQ(serve_side.count, train_side.count);
+  std::remove(path.c_str());
+}
+
+}  // namespace

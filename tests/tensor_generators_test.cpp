@@ -133,4 +133,61 @@ TEST(GeneratorsTest, GeneratePresetSmokesAllFour) {
   }
 }
 
+TEST(GeneratorsTest, RandomLowRankPlantsUnitRmsSignalWithKnownNoise) {
+  const auto planted = ht::tensor::random_low_rank(Shape{50, 40, 30}, 5000,
+                                                   Shape{4, 3, 2}, 0.1, 10);
+  const CooTensor& x = planted.tensor;
+  EXPECT_NO_THROW(x.validate());
+  ASSERT_EQ(planted.clean.size(), x.nnz());
+  EXPECT_DOUBLE_EQ(planted.noise_sigma, 0.1);
+
+  // Clean signal is normalized to unit RMS over the observed entries.
+  double sum_sq = 0.0;
+  for (const double v : planted.clean) sum_sq += v * v;
+  EXPECT_NEAR(std::sqrt(sum_sq / static_cast<double>(x.nnz())), 1.0, 1e-12);
+
+  // The residual values - clean is the injected noise: its empirical RMS
+  // concentrates around noise_sigma (a few percent at 5000 samples).
+  double noise_sq = 0.0;
+  for (nnz_t t = 0; t < x.nnz(); ++t) {
+    const double d = x.value(t) - planted.clean[t];
+    noise_sq += d * d;
+  }
+  const double noise_rms = std::sqrt(noise_sq / static_cast<double>(x.nnz()));
+  EXPECT_NEAR(noise_rms, planted.noise_sigma, 0.05 * planted.noise_sigma);
+}
+
+TEST(GeneratorsTest, RandomLowRankNoiselessIsExactlyClean) {
+  const auto planted = ht::tensor::random_low_rank(Shape{20, 15, 10}, 800,
+                                                   Shape{2, 2, 2}, 0.0, 11);
+  EXPECT_DOUBLE_EQ(planted.noise_sigma, 0.0);
+  for (nnz_t t = 0; t < planted.tensor.nnz(); ++t) {
+    EXPECT_EQ(planted.tensor.value(t), planted.clean[t]);
+  }
+}
+
+TEST(GeneratorsTest, RandomLowRankDeterministicForSeed) {
+  const auto a = ht::tensor::random_low_rank(Shape{25, 20, 15}, 1000,
+                                             Shape{3, 3, 3}, 0.2, 12);
+  const auto b = ht::tensor::random_low_rank(Shape{25, 20, 15}, 1000,
+                                             Shape{3, 3, 3}, 0.2, 12);
+  ASSERT_EQ(a.tensor.nnz(), b.tensor.nnz());
+  for (nnz_t t = 0; t < a.tensor.nnz(); ++t) {
+    EXPECT_EQ(a.tensor.value(t), b.tensor.value(t));
+    EXPECT_EQ(a.clean[t], b.clean[t]);
+  }
+}
+
+TEST(GeneratorsTest, RandomLowRankRejectsBadArguments) {
+  EXPECT_THROW(ht::tensor::random_low_rank(Shape{10, 10}, 50, Shape{2},
+                                           0.1, 13),
+               ht::Error);  // rank arity
+  EXPECT_THROW(ht::tensor::random_low_rank(Shape{10, 10}, 50, Shape{2, 11},
+                                           0.1, 13),
+               ht::Error);  // rank > dim
+  EXPECT_THROW(ht::tensor::random_low_rank(Shape{10, 10}, 50, Shape{2, 2},
+                                           -0.5, 13),
+               ht::Error);  // negative noise
+}
+
 }  // namespace
